@@ -1,0 +1,104 @@
+// Command drizzle-driver runs the centralized scheduler of a real TCP
+// cluster. Start workers first (cmd/drizzle-worker), then the driver:
+//
+//	drizzle-worker -id w0 -listen 127.0.0.1:7101 -driver 127.0.0.1:7100 &
+//	drizzle-worker -id w1 -listen 127.0.0.1:7102 -driver 127.0.0.1:7100 &
+//	drizzle-driver -listen 127.0.0.1:7100 \
+//	    -worker w0=127.0.0.1:7101 -worker w1=127.0.0.1:7102 \
+//	    -job yahoo-demo -batches 100 -mode drizzle -group 10
+//
+// Jobs are built-in (see internal/jobs): plans contain closures, so every
+// process registers the same plans by name and only the name travels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"drizzle/internal/engine"
+	"drizzle/internal/jobs"
+	"drizzle/internal/rpc"
+)
+
+type workerList []string
+
+func (w *workerList) String() string { return strings.Join(*w, ",") }
+func (w *workerList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("worker spec %q is not id=addr", v)
+	}
+	*w = append(*w, v)
+	return nil
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7100", "driver listen address")
+		job     = flag.String("job", jobs.YahooDemo, "built-in job to run")
+		batches = flag.Int("batches", 100, "micro-batches to execute")
+		mode    = flag.String("mode", "drizzle", "scheduling mode: drizzle or bsp")
+		group   = flag.Int("group", 10, "group size (drizzle mode)")
+		tune    = flag.Bool("autotune", false, "enable AIMD group-size tuning")
+		workers workerList
+	)
+	flag.Var(&workers, "worker", "worker id=addr (repeatable)")
+	flag.Parse()
+
+	if len(workers) == 0 {
+		log.Fatal("drizzle-driver: at least one -worker id=addr is required")
+	}
+	cfg := engine.DefaultConfig()
+	cfg.GroupSize = *group
+	cfg.AutoTune = *tune
+	cfg.CheckpointEvery = 1
+	cfg.HeartbeatInterval = 200 * time.Millisecond
+	cfg.HeartbeatTimeout = 2 * time.Second
+	switch *mode {
+	case "drizzle":
+		cfg.Mode = engine.ModeDrizzle
+	case "bsp":
+		cfg.Mode = engine.ModeBSP
+	default:
+		log.Fatalf("drizzle-driver: unknown mode %q", *mode)
+	}
+
+	reg := engine.NewRegistry()
+	if err := jobs.RegisterBuiltin(reg); err != nil {
+		log.Fatalf("drizzle-driver: %v", err)
+	}
+
+	net := rpc.NewTCPNetwork()
+	defer net.Close()
+	net.SetListenAddr("driver", *listen)
+	driver := engine.NewDriver("driver", net, reg, cfg, nil)
+	if err := driver.Start(); err != nil {
+		log.Fatalf("drizzle-driver: %v", err)
+	}
+	defer driver.Stop()
+
+	for _, spec := range workers {
+		parts := strings.SplitN(spec, "=", 2)
+		driver.AddWorkerAddr(rpc.NodeID(parts[0]), parts[1])
+		log.Printf("drizzle-driver: admitted worker %s at %s", parts[0], parts[1])
+	}
+
+	log.Printf("drizzle-driver: running %s for %d micro-batches in %s mode (group %d)",
+		*job, *batches, *mode, *group)
+	stats, err := driver.Run(*job, *batches)
+	if err != nil {
+		log.Printf("drizzle-driver: run failed: %v", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed %d batches in %v\n", stats.Batches, stats.Wall.Round(time.Millisecond))
+	fmt.Printf("coordination %v, execution %v, groups %v\n",
+		stats.Coord.Round(time.Millisecond), stats.Exec.Round(time.Millisecond), stats.Groups)
+	fmt.Printf("task run times: %s\n", stats.TaskRun.Summary())
+	if len(stats.TunerTrace) > 0 {
+		last := stats.TunerTrace[len(stats.TunerTrace)-1]
+		fmt.Printf("tuner: final group %d at %.1f%% overhead\n", last.Group, last.Overhead*100)
+	}
+}

@@ -1,0 +1,52 @@
+// Command drizzle-worker runs one executor node of a real TCP cluster. See
+// cmd/drizzle-driver for the full deployment walkthrough.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drizzle/internal/engine"
+	"drizzle/internal/jobs"
+	"drizzle/internal/rpc"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "w0", "worker node id (unique per cluster)")
+		listen = flag.String("listen", "127.0.0.1:7101", "worker listen address")
+		driver = flag.String("driver", "127.0.0.1:7100", "driver address")
+		slots  = flag.Int("slots", 4, "executor slots")
+	)
+	flag.Parse()
+
+	cfg := engine.DefaultConfig()
+	cfg.SlotsPerWorker = *slots
+	cfg.HeartbeatInterval = 200 * time.Millisecond
+
+	reg := engine.NewRegistry()
+	if err := jobs.RegisterBuiltin(reg); err != nil {
+		log.Fatalf("drizzle-worker: %v", err)
+	}
+
+	net := rpc.NewTCPNetwork()
+	defer net.Close()
+	net.SetListenAddr(rpc.NodeID(*id), *listen)
+	net.Announce("driver", *driver)
+
+	w := engine.NewWorker(rpc.NodeID(*id), "driver", net, reg, cfg)
+	if err := w.Start(); err != nil {
+		log.Fatalf("drizzle-worker: %v", err)
+	}
+	log.Printf("drizzle-worker: %s listening on %s, driver at %s", *id, *listen, *driver)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("drizzle-worker: %s shutting down", *id)
+	w.Stop()
+}

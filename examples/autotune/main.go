@@ -1,0 +1,74 @@
+// Group-size auto-tuning demo (§3.4): Drizzle starts with a group of 1
+// micro-batch and the AIMD controller grows it until the measured
+// coordination overhead falls inside the configured band, then holds.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"drizzle"
+)
+
+func source(b drizzle.BatchInfo) []drizzle.Record {
+	recs := make([]drizzle.Record, 0, 16)
+	span := b.End - b.Start
+	for i := 0; i < 16; i++ {
+		recs = append(recs, drizzle.Record{
+			Key:  uint64(i % 4),
+			Val:  1,
+			Time: b.Start + int64(i)*span/16,
+		})
+	}
+	return recs
+}
+
+func main() {
+	cfg := drizzle.DefaultConfig()
+	cfg.GroupSize = 1
+	cfg.AutoTune = true
+	// Emulate the per-decision scheduling cost of a large cluster so the
+	// coordination overhead is visible at laptop scale (see DESIGN.md).
+	cfg.EmulatedDecisionCost = 3 * time.Millisecond
+	cfg.EmulatedMessageCost = time.Millisecond
+	// Bound coordination overhead to 5-10% of total time, the band used
+	// in the paper's experiments.
+	cfg.Tuner = drizzle.TunerConfig{
+		LowerBound:   0.05,
+		UpperBound:   0.10,
+		MinGroup:     1,
+		MaxGroup:     64,
+		MultIncrease: 2,
+		AddDecrease:  2,
+		Alpha:        0.4,
+	}
+	cluster, err := drizzle.NewLocalCluster(2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	pipeline := drizzle.NewPipeline("autotune", 50*time.Millisecond)
+	pipeline.Source(4, source).
+		CountByKeyAndWindow(200*time.Millisecond, 2, drizzle.Combine).
+		Sink(func(int64, int, []drizzle.Record) {})
+
+	fmt.Println("running 120 micro-batches with AIMD group-size tuning...")
+	stats, err := cluster.Run(pipeline, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %12s %8s\n", "step", "overhead", "group")
+	for i, d := range stats.TunerTrace {
+		if i < 12 || i == len(stats.TunerTrace)-1 {
+			fmt.Printf("%-6d %11.1f%% %8d\n", i, d.Overhead*100, d.Group)
+		}
+	}
+	fmt.Printf("\ngroup sizes used: %v\n", stats.Groups)
+	fmt.Printf("total coordination %v vs execution %v\n",
+		stats.Coord.Round(time.Millisecond), stats.Exec.Round(time.Millisecond))
+}

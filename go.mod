@@ -1,0 +1,3 @@
+module drizzle
+
+go 1.22

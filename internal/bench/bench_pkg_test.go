@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallMicrobench keeps simulator sweeps fast in tests.
+func smallMicrobench() MicrobenchOpts {
+	return MicrobenchOpts{Machines: []int{4, 32, 128}, Batches: 30, Slots: 4}
+}
+
+// smallYahoo keeps real-engine runs to ~2-3s each.
+func smallYahoo() YahooOpts {
+	o := DefaultYahooOpts()
+	o.Stream.Batches = 30
+	o.Stream.Duration = 3 * time.Second
+	o.Stream.Warmup = 500 * time.Millisecond
+	o.RatePerPartition = 4000
+	return o
+}
+
+func TestReportBasics(t *testing.T) {
+	r := NewReport("X", "desc")
+	r.Section("part")
+	r.Printf("value %d", 42)
+	r.Record("k", 1.5)
+	out := r.String()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "value 42") {
+		t.Fatalf("report rendering broken:\n%s", out)
+	}
+	if r.Values["k"] != 1.5 || len(r.SortedKeys()) != 1 {
+		t.Fatal("recorded values broken")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	r, err := Fig4a(smallMicrobench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark := r.Values["spark/128"]
+	dz100 := r.Values["drizzle-g100/128"]
+	if spark < 100 || spark > 400 {
+		t.Fatalf("spark at 128 machines = %.1fms, want ~200ms", spark)
+	}
+	if dz100 > 10 {
+		t.Fatalf("drizzle g100 at 128 machines = %.1fms, want <10ms", dz100)
+	}
+	if spark/dz100 < 7 {
+		t.Fatalf("speedup %.1fx below the paper's 7-46x band", spark/dz100)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	r, err := Fig4b(smallMicrobench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["spark/sched"] < 10*r.Values["spark/compute"] {
+		t.Fatal("spark scheduler delay does not dominate")
+	}
+	if r.Values["drizzle-g100/sched"] > r.Values["spark/sched"]/20 {
+		t.Fatal("drizzle scheduler delay not amortized")
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	r, err := Fig5a(smallMicrobench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-bound: group 25 captures most of the benefit (within 10% of
+	// group 100) and the floor is the 90ms compute.
+	g25, g100 := r.Values["drizzle-g25/128"], r.Values["drizzle-g100/128"]
+	if g100 < 90 {
+		t.Fatalf("per-batch %.1fms below compute floor", g100)
+	}
+	if (g25-g100)/g25 > 0.15 {
+		t.Fatalf("group 100 still gains %.0f%% over 25 on compute-bound work", (g25-g100)/g25*100)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	r, err := Fig5b(smallMicrobench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark := r.Values["spark/128"]
+	pre := r.Values["drizzle-g1/128"]
+	full := r.Values["drizzle-g100/128"]
+	if pre >= spark {
+		t.Fatalf("pre-scheduling alone did not help: %.1f vs %.1f", pre, spark)
+	}
+	if speedup := spark / full; speedup < 2 || speedup > 10 {
+		t.Fatalf("speedup %.1fx outside the paper's 2.7-5.5x neighborhood", speedup)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2(50000, 3)
+	if r.Values["partial_merge_share"] < 0.95 {
+		t.Fatalf("partial merge share %.2f below the paper's 95%%", r.Values["partial_merge_share"])
+	}
+	if s := r.Values["share/Count"]; s < 40 || s > 51 {
+		t.Fatalf("Count share %.1f%% far from the paper's 45.4%%", s)
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	r, err := Fig6a(smallYahoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Values["speedup/spark"] < 1.5 {
+		t.Fatalf("drizzle vs spark median speedup %.2fx, want >= 1.5x (paper: 3.6x)", r.Values["speedup/spark"])
+	}
+	if r.Values["drizzle(g=10)/p50"] <= 0 || r.Values["flink/p50"] <= 0 {
+		t.Fatal("missing latency measurements")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	o := smallYahoo()
+	// Long enough that the continuous engine's detect+restart+replay cycle
+	// (~3s) completes and its post-recovery emissions land inside the run.
+	o.Stream.Batches = 100
+	r, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	// The continuous engine's failure spike must exceed Drizzle's (the
+	// paper reports up to 13x lower latency during recovery).
+	dzSpike := r.Values["drizzle(g=10)/spike"]
+	flSpike := r.Values["flink/spike"]
+	if flSpike <= dzSpike {
+		t.Fatalf("flink spike %.1fms not worse than drizzle %.1fms", flSpike, dzSpike)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	r, err := Fig9(smallYahoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Values["drizzle-video/p95"] <= 0 {
+		t.Fatal("video workload produced no measurements")
+	}
+}
+
+func TestTunerExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	o := smallYahoo()
+	o.Stream.Batches = 40
+	r, err := TunerExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Values["final_group"] < 1 {
+		t.Fatal("tuner trace missing")
+	}
+}
+
+func TestGroupSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	o := DefaultGroupSweepOpts()
+	o.Yahoo = smallYahoo()
+	o.Groups = []int{1, 10}
+	r, err := GroupSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	// Coordination time must shrink as the group grows (the §3.1 claim on
+	// the real engine, not just the simulator).
+	if r.Values["coord-ms/10"] >= r.Values["coord-ms/1"] {
+		t.Fatalf("group 10 coordination %.1fms not below group 1 %.1fms",
+			r.Values["coord-ms/10"], r.Values["coord-ms/1"])
+	}
+}
+
+func TestTreeAggregationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	o := smallYahoo()
+	o.Stream.Batches = 20
+	r, err := TreeAggregationAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Values["tree/taskp95"] <= 0 || r.Values["flat/taskp95"] <= 0 {
+		t.Fatal("missing task timing data")
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	r, err := Fig8a(smallYahoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Values["drizzle(g=10)/p50"] <= 0 {
+		t.Fatal("missing drizzle measurement")
+	}
+}
+
+func TestElasticityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second streaming experiment")
+	}
+	o := smallYahoo()
+	o.Stream.Batches = 40
+	r, err := ElasticityExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"time"
+
+	"drizzle/internal/sim"
+	"drizzle/internal/workload"
+)
+
+// MicrobenchOpts parameterizes the §5.2 weak-scaling experiments.
+type MicrobenchOpts struct {
+	// Machines is the weak-scaling x-axis (paper: 4..128).
+	Machines []int
+	// Batches per measurement (paper: 100).
+	Batches int
+	// Slots per machine (paper: 4).
+	Slots int
+}
+
+// DefaultMicrobenchOpts mirrors the paper's setup.
+func DefaultMicrobenchOpts() MicrobenchOpts {
+	return MicrobenchOpts{
+		Machines: []int{4, 8, 16, 32, 64, 128},
+		Batches:  100,
+		Slots:    4,
+	}
+}
+
+func (o MicrobenchOpts) withDefaults() MicrobenchOpts {
+	if len(o.Machines) == 0 {
+		o.Machines = DefaultMicrobenchOpts().Machines
+	}
+	if o.Batches <= 0 {
+		o.Batches = 100
+	}
+	if o.Slots <= 0 {
+		o.Slots = 4
+	}
+	return o
+}
+
+// fig4aCompute is the sub-millisecond per-task compute of the scheduling-
+// bound microbenchmark (sum of random numbers, §5.2.1).
+const fig4aCompute = 500 * time.Microsecond
+
+// fig5aCompute is the 100x-data variant of Figure 5a.
+const fig5aCompute = 90 * time.Millisecond
+
+// Fig4a reproduces Figure 4(a): time per micro-batch of a single-stage job
+// versus cluster size, for Spark (BSP) and Drizzle with group sizes 25, 50
+// and 100.
+func Fig4a(opts MicrobenchOpts) (*Report, error) {
+	opts = opts.withDefaults()
+	r := NewReport("Figure 4a",
+		"Single-stage weak scaling, 100 micro-batches, <1ms compute/task: time per micro-batch (ms)")
+	return fig4aLike(r, opts, fig4aCompute, []int{25, 50, 100})
+}
+
+// Fig5a reproduces Figure 5(a): the same sweep with ~100x more data per
+// partition, where compute dominates and group sizes beyond 25 stop
+// helping.
+func Fig5a(opts MicrobenchOpts) (*Report, error) {
+	opts = opts.withDefaults()
+	r := NewReport("Figure 5a",
+		"Single-stage weak scaling with 100x data per partition: time per iteration (ms)")
+	return fig4aLike(r, opts, fig5aCompute, []int{25, 50, 100})
+}
+
+func fig4aLike(r *Report, opts MicrobenchOpts, compute time.Duration, groups []int) (*Report, error) {
+	r.Printf("%-9s %12s %s", "machines", "spark", groupHeaders(groups))
+	for _, m := range opts.Machines {
+		base := sim.Config{
+			Machines: m,
+			Slots:    opts.Slots,
+			Workload: sim.Workload{MapCompute: compute},
+			Costs:    sim.DefaultCosts(),
+			Batches:  opts.Batches,
+		}
+		spark := base
+		spark.Schedule = sim.ScheduleBSP
+		rs, err := sim.Run(spark)
+		if err != nil {
+			return nil, err
+		}
+		row := []float64{ms(rs.TimePerBatch)}
+		r.Record(key("spark", m), ms(rs.TimePerBatch))
+		for _, g := range groups {
+			dz := base
+			dz.Schedule = sim.ScheduleDrizzle
+			dz.Group = g
+			rd, err := sim.Run(dz)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(rd.TimePerBatch))
+			r.Record(key(groupKey(g), m), ms(rd.TimePerBatch))
+		}
+		r.Printf("%-9d %12.2f %s", m, row[0], formatRow(row[1:]))
+	}
+	return r, nil
+}
+
+// Fig4b reproduces Figure 4(b): the per-task time breakdown (scheduler
+// delay / task transfer / compute) at 128 machines for Spark and Drizzle
+// group sizes.
+func Fig4b(opts MicrobenchOpts) (*Report, error) {
+	opts = opts.withDefaults()
+	machines := opts.Machines[len(opts.Machines)-1]
+	r := NewReport("Figure 4b",
+		"Per-task time breakdown (ms) in the single-stage microbenchmark at the largest cluster size")
+	r.Printf("%-18s %16s %14s %10s", "system", "SchedulerDelay", "TaskTransfer", "Compute")
+	base := sim.Config{
+		Machines: machines,
+		Slots:    opts.Slots,
+		Workload: sim.Workload{MapCompute: fig4aCompute},
+		Costs:    sim.DefaultCosts(),
+		Batches:  opts.Batches,
+	}
+	spark := base
+	spark.Schedule = sim.ScheduleBSP
+	rs, err := sim.Run(spark)
+	if err != nil {
+		return nil, err
+	}
+	r.Printf("%-18s %16.3f %14.3f %10.3f", "spark", ms(rs.SchedulerDelay), ms(rs.TaskTransfer), ms(rs.Compute))
+	r.Record("spark/sched", ms(rs.SchedulerDelay))
+	r.Record("spark/transfer", ms(rs.TaskTransfer))
+	r.Record("spark/compute", ms(rs.Compute))
+	for _, g := range []int{25, 50, 100} {
+		dz := base
+		dz.Schedule = sim.ScheduleDrizzle
+		dz.Group = g
+		rd, err := sim.Run(dz)
+		if err != nil {
+			return nil, err
+		}
+		r.Printf("%-18s %16.3f %14.3f %10.3f", groupKey(g), ms(rd.SchedulerDelay), ms(rd.TaskTransfer), ms(rd.Compute))
+		r.Record(groupKey(g)+"/sched", ms(rd.SchedulerDelay))
+		r.Record(groupKey(g)+"/transfer", ms(rd.TaskTransfer))
+		r.Record(groupKey(g)+"/compute", ms(rd.Compute))
+	}
+	return r, nil
+}
+
+// Fig5b reproduces Figure 5(b): the two-stage (16-reducer) streaming job —
+// Spark versus pre-scheduling only versus pre-scheduling + group
+// scheduling {10, 100}.
+func Fig5b(opts MicrobenchOpts) (*Report, error) {
+	opts = opts.withDefaults()
+	r := NewReport("Figure 5b",
+		"Two-stage job with 16 reducers: time per micro-batch (ms); pre-scheduling vs group scheduling")
+	r.Printf("%-9s %12s %14s %18s %19s", "machines", "spark", "pre-sched", "pre-sched+g10", "pre-sched+g100")
+	for _, m := range opts.Machines {
+		base := sim.Config{
+			Machines: m,
+			Slots:    opts.Slots,
+			Workload: sim.Workload{
+				MapCompute:    fig4aCompute,
+				ReduceTasks:   16,
+				ReduceCompute: time.Millisecond,
+			},
+			Costs:   sim.DefaultCosts(),
+			Batches: opts.Batches,
+		}
+		row := make([]float64, 0, 4)
+		spark := base
+		spark.Schedule = sim.ScheduleBSP
+		rs, err := sim.Run(spark)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, ms(rs.TimePerBatch))
+		r.Record(key("spark", m), ms(rs.TimePerBatch))
+		for _, g := range []int{1, 10, 100} {
+			dz := base
+			dz.Schedule = sim.ScheduleDrizzle
+			dz.Group = g
+			rd, err := sim.Run(dz)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(rd.TimePerBatch))
+			r.Record(key(groupKey(g), m), ms(rd.TimePerBatch))
+		}
+		r.Printf("%-9d %12.2f %14.2f %18.2f %19.2f", m, row[0], row[1], row[2], row[3])
+	}
+	return r, nil
+}
+
+// Table2 reproduces the workload analysis of §3.5 on a synthetic corpus of
+// n queries (paper: >900,000).
+func Table2(n int, seed uint64) *Report {
+	r := NewReport("Table 2",
+		"Aggregate usage among aggregation queries, measured by the parser over the synthetic corpus")
+	corpus := workload.QueryCorpus(n, seed)
+	qa := workload.AnalyzeQueries(corpus)
+	r.Printf("queries analyzed: %d, with aggregates: %d (%.1f%%)",
+		qa.Total, qa.WithAggregates, float64(qa.WithAggregates)/float64(qa.Total)*100)
+	r.Printf("")
+	r.Printf("%-22s %8s %8s", "Aggregate", "measured", "paper")
+	measured := qa.Table2Rows()
+	paper := workload.PaperTable2()
+	for i := range measured {
+		r.Printf("%s %8s", measured[i], paper[i][len(paper[i])-5:])
+	}
+	r.Printf("")
+	r.Printf("aggregation queries using only partial-merge aggregates: %.1f%% (paper: >95%%)",
+		qa.PartialMergeShare*100)
+	r.Record("partial_merge_share", qa.PartialMergeShare)
+	for cls, share := range qa.ClassShares() {
+		r.Record("share/"+cls.String(), share)
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+func key(system string, machines int) string {
+	return system + "/" + itoa(machines)
+}
+
+func groupKey(g int) string { return "drizzle-g" + itoa(g) }
+
+func groupHeaders(groups []int) string {
+	out := ""
+	for _, g := range groups {
+		out += padLeft(groupKey(g), 15)
+	}
+	return out
+}
+
+func formatRow(vals []float64) string {
+	out := ""
+	for _, v := range vals {
+		out += padLeft(ftoa(v), 15)
+	}
+	return out
+}
+
+func itoa(v int) string {
+	return fmtInt(v)
+}

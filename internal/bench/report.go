@@ -1,0 +1,75 @@
+// Package bench is the experiment harness: one entry point per table and
+// figure in the paper's evaluation, each regenerating the corresponding
+// rows or series (workload generation, parameter sweep, baselines, and
+// formatted output). cmd/drizzle-bench and the repository's bench_test.go
+// both drive this package; EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the printable result of one experiment.
+type Report struct {
+	Name        string
+	Description string
+	lines       []string
+	// Values holds machine-readable key results for tests and
+	// EXPERIMENTS.md tables.
+	Values map[string]float64
+}
+
+// NewReport creates a named report.
+func NewReport(name, description string) *Report {
+	return &Report{Name: name, Description: description, Values: make(map[string]float64)}
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...any) {
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+
+// Section appends a blank-line-separated header.
+func (r *Report) Section(title string) {
+	if len(r.lines) > 0 {
+		r.lines = append(r.lines, "")
+	}
+	r.lines = append(r.lines, title, strings.Repeat("-", len(title)))
+}
+
+// Record stores a machine-readable value and returns it.
+func (r *Report) Record(key string, v float64) float64 {
+	r.Values[key] = v
+	return v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n%s\n\n", r.Name, r.Description)
+	for _, l := range r.lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedKeys lists recorded value keys deterministically.
+func (r *Report) SortedKeys() []string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Small formatting helpers shared by the experiment tables.
+
+func fmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func padLeft(s string, width int) string { return fmt.Sprintf("%*s", width, s) }

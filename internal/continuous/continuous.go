@@ -1,0 +1,232 @@
+// Package continuous is the continuous-operator baseline system — the
+// from-scratch stand-in for Apache Flink in the paper's comparisons. Its
+// architecture mirrors the model described in §2.2:
+//
+//   - Long-running operator instances (source tasks and keyed window tasks)
+//     connected by buffered channels; records flow with no per-batch
+//     scheduling and no centralized coordination on the data path.
+//   - Low latency comes from small flush intervals (the analog of Flink's
+//     buffer timeout) and watermark-driven window emission.
+//   - Fault tolerance uses distributed snapshots: a coordinator injects
+//     checkpoint barriers at the sources; operators align barriers from all
+//     inputs before snapshotting (Chandy-Lamport style), giving consistent
+//     asynchronous checkpoints.
+//   - Recovery is the model's weakness the paper measures (Figure 7): any
+//     failure stops the whole topology, every operator is rolled back to
+//     the last completed checkpoint, and sources replay from their
+//     checkpointed positions — there is no parallel recovery across time
+//     and no reuse of partial results.
+package continuous
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// GenFunc generates the records of one source partition with event times in
+// [fromNanos, toNanos). It must be a pure function of its arguments — the
+// replayability contract recovery relies on (the Kafka-offset equivalent).
+type GenFunc func(partition int, fromNanos, toNanos int64) []data.Record
+
+// Topology describes a source → (fused narrow ops) → keyed window → sink
+// pipeline, the continuous-operator shape of every workload in the paper's
+// evaluation.
+type Topology struct {
+	Name string
+	// SourceParallelism is the number of source operator instances.
+	SourceParallelism int
+	// Gen produces source records.
+	Gen GenFunc
+	// Ops is the narrow-operator chain fused into the sources (operator
+	// chaining, as Flink does for non-shuffling operators).
+	Ops []dag.NarrowOp
+	// WindowParallelism is the number of keyed window operator instances.
+	WindowParallelism int
+	// Window and Reduce define the keyed tumbling-window aggregation.
+	Window dag.WindowSpec
+	Reduce dag.ReduceFunc
+	// Sink receives finalized window results; it must be thread-safe. The
+	// batch argument of the dag.SinkFunc carries -1 (no micro-batches
+	// here); partition is the window-operator index.
+	Sink dag.SinkFunc
+}
+
+// Validate checks the topology.
+func (t *Topology) Validate() error {
+	switch {
+	case t.SourceParallelism <= 0 || t.WindowParallelism <= 0:
+		return fmt.Errorf("continuous: parallelism must be positive")
+	case t.Gen == nil:
+		return fmt.Errorf("continuous: missing generator")
+	case t.Window.Size <= 0:
+		return fmt.Errorf("continuous: window size must be positive")
+	case t.Reduce == nil:
+		return fmt.Errorf("continuous: missing reduce function")
+	}
+	return nil
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// FlushInterval is how often sources emit buffered records downstream
+	// — Flink's buffer timeout. Smaller = lower latency, more overhead.
+	FlushInterval time.Duration
+	// CheckpointInterval is the period between barrier injections.
+	CheckpointInterval time.Duration
+	// DetectDelay models how long failure detection takes.
+	DetectDelay time.Duration
+	// RestartDelay models stopping and redeploying every operator in the
+	// topology — the dominant cost of continuous-operator recovery.
+	RestartDelay time.Duration
+	// QueueLen is the per-operator inbox capacity.
+	QueueLen int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		FlushInterval:      10 * time.Millisecond,
+		CheckpointInterval: time.Second,
+		DetectDelay:        200 * time.Millisecond,
+		RestartDelay:       800 * time.Millisecond,
+		QueueLen:           4096,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 10 * time.Millisecond
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = time.Second
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 4096
+	}
+	return c
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Records     int64 // records processed by window operators
+	Checkpoints int   // completed checkpoints
+	Recoveries  int   // failures recovered from
+	Duration    time.Duration
+}
+
+// checkpointState is one completed distributed snapshot.
+type checkpointState struct {
+	id        int64
+	positions []int64 // per-source replay position (nanos)
+	states    []opSnapshot
+}
+
+type opSnapshot struct {
+	windows        map[int64]map[uint64]int64
+	emittedThrough int64
+}
+
+func (s opSnapshot) clone() opSnapshot {
+	c := opSnapshot{windows: make(map[int64]map[uint64]int64, len(s.windows)), emittedThrough: s.emittedThrough}
+	for w, kv := range s.windows {
+		m := make(map[uint64]int64, len(kv))
+		for k, v := range kv {
+			m[k] = v
+		}
+		c.windows[w] = m
+	}
+	return c
+}
+
+// Engine runs one topology.
+type Engine struct {
+	top Topology
+	cfg Config
+
+	mu           sync.Mutex
+	lastComplete *checkpointState
+	stats        Stats
+
+	failCh chan int
+}
+
+// NewEngine validates the topology and returns a runnable engine.
+func NewEngine(top Topology, cfg Config) (*Engine, error) {
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		top:    top,
+		cfg:    cfg.withDefaults(),
+		failCh: make(chan int, 8),
+	}, nil
+}
+
+// KillMachine injects a machine failure: in the continuous-operator model
+// any instance death triggers a whole-topology stop-restore-replay cycle,
+// so the machine index only matters for bookkeeping.
+func (e *Engine) KillMachine(machine int) {
+	select {
+	case e.failCh <- machine:
+	default:
+	}
+}
+
+// Run executes the topology for the given wall-clock duration, handling any
+// injected failures, and returns run statistics.
+func (e *Engine) Run(duration time.Duration) Stats {
+	start := time.Now()
+	startNanos := start.UnixNano()
+
+	// Checkpoint 0: the initial state, so a failure before the first
+	// completed checkpoint rolls back to the beginning of the stream.
+	positions := make([]int64, e.top.SourceParallelism)
+	states := make([]opSnapshot, e.top.WindowParallelism)
+	for i := range positions {
+		positions[i] = startNanos
+	}
+	for i := range states {
+		states[i] = opSnapshot{windows: map[int64]map[uint64]int64{}}
+	}
+	e.mu.Lock()
+	e.lastComplete = &checkpointState{id: 0, positions: positions, states: states}
+	e.mu.Unlock()
+
+	deadline := time.NewTimer(duration)
+	defer deadline.Stop()
+
+	for {
+		inc := e.startIncarnation()
+		select {
+		case <-deadline.C:
+			inc.stop()
+			e.mu.Lock()
+			e.stats.Duration = time.Since(start)
+			out := e.stats
+			e.mu.Unlock()
+			return out
+		case <-e.failCh:
+			// Whole-topology rollback: stop everything, pay detection +
+			// restart, then the loop restores from the last completed
+			// checkpoint and replays.
+			inc.stop()
+			e.mu.Lock()
+			e.stats.Recoveries++
+			e.mu.Unlock()
+			wait := e.cfg.DetectDelay + e.cfg.RestartDelay
+			select {
+			case <-deadline.C:
+				e.mu.Lock()
+				e.stats.Duration = time.Since(start)
+				out := e.stats
+				e.mu.Unlock()
+				return out
+			case <-time.After(wait):
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package continuous
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// stepGen deterministically produces one record per key per millisecond
+// slice, so expected window counts are computable from the time range.
+func stepGen(keys int) GenFunc {
+	return func(partition int, from, to int64) []data.Record {
+		ms := int64(time.Millisecond)
+		var recs []data.Record
+		// One record per key for every whole millisecond in [from, to).
+		for t := from - from%ms + ms; t <= to; t += ms {
+			at := t - 1 // strictly inside [from, to)
+			if at < from {
+				continue
+			}
+			for k := 0; k < keys; k++ {
+				recs = append(recs, data.Record{Key: uint64(k), Val: 1, Time: at})
+			}
+		}
+		return recs
+	}
+}
+
+type collectSink struct {
+	mu      sync.Mutex
+	results map[[2]int64]int64
+}
+
+func newCollectSink() *collectSink {
+	return &collectSink{results: make(map[[2]int64]int64)}
+}
+
+func (c *collectSink) fn(_ int64, _ int, out []data.Record) {
+	c.mu.Lock()
+	for _, r := range out {
+		c.results[[2]int64{r.Time, int64(r.Key)}] = r.Val
+	}
+	c.mu.Unlock()
+}
+
+func (c *collectSink) snapshot() map[[2]int64]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[[2]int64]int64, len(c.results))
+	for k, v := range c.results {
+		out[k] = v
+	}
+	return out
+}
+
+func testTopology(sink dag.SinkFunc) Topology {
+	return Topology{
+		Name:              "t",
+		SourceParallelism: 2,
+		Gen:               stepGen(3),
+		WindowParallelism: 2,
+		Window:            dag.WindowSpec{Size: 100 * time.Millisecond},
+		Reduce:            dag.Sum,
+		Sink:              sink,
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	good := testTopology(nil)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	cases := []func(*Topology){
+		func(tp *Topology) { tp.SourceParallelism = 0 },
+		func(tp *Topology) { tp.WindowParallelism = 0 },
+		func(tp *Topology) { tp.Gen = nil },
+		func(tp *Topology) { tp.Window.Size = 0 },
+		func(tp *Topology) { tp.Reduce = nil },
+	}
+	for i, mutate := range cases {
+		tp := testTopology(nil)
+		mutate(&tp)
+		if err := tp.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology accepted", i)
+		}
+	}
+}
+
+// TestContinuousCounts runs the topology briefly and checks every emitted
+// window has the exact expected count: 1 record per key per millisecond,
+// 2 sources, 100ms windows => 200 per key per window.
+func TestContinuousCounts(t *testing.T) {
+	sink := newCollectSink()
+	cfg := DefaultConfig()
+	cfg.CheckpointInterval = 200 * time.Millisecond
+	eng, err := NewEngine(testTopology(sink.fn), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now().UnixNano()
+	stats := eng.Run(900 * time.Millisecond)
+	results := sink.snapshot()
+	full := 0
+	for k, v := range results {
+		// Windows straddling the run start are legitimately partial; only
+		// windows fully inside the run must hold the exact count.
+		if k[0] < t0+int64(100*time.Millisecond) {
+			continue
+		}
+		full++
+		if v != 200 {
+			t.Fatalf("window %d key %d count = %d, want 200", k[0], k[1], v)
+		}
+	}
+	if full == 0 {
+		t.Fatal("no full windows emitted")
+	}
+	if stats.Records == 0 {
+		t.Fatal("no records counted")
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("no checkpoints completed")
+	}
+}
+
+// TestContinuousLatency verifies the headline property: window results
+// appear promptly after the window closes (well under one window).
+func TestContinuousLatency(t *testing.T) {
+	var mu sync.Mutex
+	var worst float64
+	sink := func(_ int64, _ int, out []data.Record) {
+		now := time.Now().UnixNano()
+		mu.Lock()
+		for _, r := range out {
+			lat := float64(now-(r.Time+int64(100*time.Millisecond))) / 1e6
+			if lat > worst {
+				worst = lat
+			}
+		}
+		mu.Unlock()
+	}
+	eng, err := NewEngine(testTopology(sink), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(700 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if worst == 0 {
+		t.Fatal("no emissions observed")
+	}
+	if worst > 90 {
+		t.Fatalf("worst-case emission latency %vms too high for a continuous engine", worst)
+	}
+}
+
+// TestContinuousRecovery kills the topology mid-run and verifies the run
+// continues, counts stay exact (idempotent re-emission), and recovery is
+// recorded.
+func TestContinuousRecovery(t *testing.T) {
+	sink := newCollectSink()
+	cfg := DefaultConfig()
+	cfg.CheckpointInterval = 150 * time.Millisecond
+	cfg.DetectDelay = 50 * time.Millisecond
+	cfg.RestartDelay = 100 * time.Millisecond
+	eng, err := NewEngine(testTopology(sink.fn), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		eng.KillMachine(0)
+	}()
+	t0 := time.Now().UnixNano()
+	stats := eng.Run(1500 * time.Millisecond)
+	if stats.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", stats.Recoveries)
+	}
+	results := sink.snapshot()
+	if len(results) < 6 {
+		t.Fatalf("too few windows after recovery: %d", len(results))
+	}
+	for k, v := range results {
+		if k[0] < t0+int64(100*time.Millisecond) {
+			continue // partial first window
+		}
+		if v != 200 {
+			t.Fatalf("window %d key %d count = %d, want 200 (replay corrupted state)", k[0], k[1], v)
+		}
+	}
+}
+
+// TestContinuousRecoveryLatencySpike verifies the phenomenon Figure 7
+// measures: latency during recovery is far above steady state.
+func TestContinuousRecoveryLatencySpike(t *testing.T) {
+	var mu sync.Mutex
+	type obs struct {
+		at  time.Time
+		lat float64
+	}
+	var observations []obs
+	sink := func(_ int64, _ int, out []data.Record) {
+		now := time.Now()
+		mu.Lock()
+		for _, r := range out {
+			lat := float64(now.UnixNano()-(r.Time+int64(100*time.Millisecond))) / 1e6
+			observations = append(observations, obs{at: now, lat: lat})
+		}
+		mu.Unlock()
+	}
+	cfg := DefaultConfig()
+	cfg.CheckpointInterval = 200 * time.Millisecond
+	cfg.DetectDelay = 100 * time.Millisecond
+	cfg.RestartDelay = 300 * time.Millisecond
+	eng, err := NewEngine(testTopology(sink), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(600 * time.Millisecond)
+		eng.KillMachine(0)
+	}()
+	eng.Run(1800 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	var steady, spike float64
+	for _, o := range observations {
+		since := o.at.Sub(start)
+		if since < 500*time.Millisecond && o.lat > steady {
+			steady = o.lat
+		}
+		if since >= 600*time.Millisecond && o.lat > spike {
+			spike = o.lat
+		}
+	}
+	if steady == 0 || spike == 0 {
+		t.Fatal("missing observations before or after the failure")
+	}
+	if spike < steady*3 {
+		t.Fatalf("no recovery latency spike: steady max %.1fms, post-failure max %.1fms", steady, spike)
+	}
+	t.Logf("steady max %.1fms, recovery spike %.1fms", steady, spike)
+}
+
+func TestKillDuringIdleIsBounded(t *testing.T) {
+	sink := newCollectSink()
+	cfg := DefaultConfig()
+	cfg.DetectDelay = 20 * time.Millisecond
+	cfg.RestartDelay = 20 * time.Millisecond
+	eng, err := NewEngine(testTopology(sink.fn), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		eng.KillMachine(1)
+		time.Sleep(150 * time.Millisecond)
+		eng.KillMachine(0)
+	}()
+	stats := eng.Run(600 * time.Millisecond)
+	if stats.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2", stats.Recoveries)
+	}
+}

@@ -1,0 +1,351 @@
+package continuous
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drizzle/internal/data"
+)
+
+// event is the unit flowing from sources to window operators. Exactly one
+// of recs/barrier semantics applies, selected by kind.
+type eventKind int
+
+const (
+	evRecords eventKind = iota
+	evBarrier
+)
+
+type event struct {
+	kind      eventKind
+	from      int           // source instance index
+	recs      []data.Record // evRecords
+	watermark int64         // source position after this event
+	barrierID int64         // evBarrier
+}
+
+// incarnation is one live deployment of the topology. A failure discards
+// the whole incarnation; recovery builds a new one from the last completed
+// checkpoint.
+type incarnation struct {
+	e       *Engine
+	stopCh  chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	inboxes  []chan event // one per window operator
+	barriers []chan int64 // per-source barrier injection
+	ackCh    chan ack
+
+	posMu     sync.Mutex
+	barrierAt map[[2]int64]int64 // (source, barrier id) -> replay position
+}
+
+// recordBarrierPosition is called by a source when it emits a barrier: the
+// recorded position is where replay resumes if this checkpoint completes.
+func (inc *incarnation) recordBarrierPosition(src int, id, pos int64) {
+	inc.posMu.Lock()
+	inc.barrierAt[[2]int64{int64(src), id}] = pos
+	inc.posMu.Unlock()
+}
+
+// barrierPosition looks up the position a source recorded for a barrier.
+func (inc *incarnation) barrierPosition(src int, id int64) (int64, bool) {
+	inc.posMu.Lock()
+	defer inc.posMu.Unlock()
+	pos, ok := inc.barrierAt[[2]int64{int64(src), id}]
+	return pos, ok
+}
+
+type ack struct {
+	barrierID int64
+	op        int
+	snap      opSnapshot
+}
+
+// startIncarnation deploys sources, window operators and the checkpoint
+// coordinator from the last completed checkpoint.
+func (e *Engine) startIncarnation() *incarnation {
+	e.mu.Lock()
+	ck := e.lastComplete
+	e.mu.Unlock()
+
+	inc := &incarnation{
+		e:         e,
+		stopCh:    make(chan struct{}),
+		ackCh:     make(chan ack, e.top.WindowParallelism*4),
+		barrierAt: make(map[[2]int64]int64),
+	}
+	inc.inboxes = make([]chan event, e.top.WindowParallelism)
+	for i := range inc.inboxes {
+		inc.inboxes[i] = make(chan event, e.cfg.QueueLen)
+	}
+	inc.barriers = make([]chan int64, e.top.SourceParallelism)
+	for i := range inc.barriers {
+		inc.barriers[i] = make(chan int64, 4)
+	}
+
+	for i := 0; i < e.top.WindowParallelism; i++ {
+		inc.wg.Add(1)
+		go inc.windowLoop(i, ck.states[i].clone())
+	}
+	for i := 0; i < e.top.SourceParallelism; i++ {
+		inc.wg.Add(1)
+		go inc.sourceLoop(i, ck.positions[i])
+	}
+	inc.wg.Add(1)
+	go inc.coordinator(ck.id)
+	return inc
+}
+
+func (inc *incarnation) stop() {
+	inc.stopped.Do(func() { close(inc.stopCh) })
+	inc.wg.Wait()
+}
+
+// sendEvent delivers to an operator inbox unless the incarnation stops.
+func (inc *incarnation) sendEvent(op int, ev event) bool {
+	select {
+	case inc.inboxes[op] <- ev:
+		return true
+	case <-inc.stopCh:
+		return false
+	}
+}
+
+// sourceLoop is one long-running source operator: it paces real time,
+// generating records for consecutive [pos, pos+flush) slices, fusing the
+// narrow-op chain, partitioning by key, and pushing downstream. After a
+// restore, pos starts in the past and the loop free-runs to catch up —
+// exactly the replay behavior that produces Figure 7's recovery spike.
+func (inc *incarnation) sourceLoop(idx int, pos int64) {
+	defer inc.wg.Done()
+	e := inc.e
+	flush := int64(e.cfg.FlushInterval)
+	part := data.NewHashPartitioner(e.top.WindowParallelism)
+	for {
+		// Inject any pending barrier before the next slice so checkpoints
+		// do not wait on pacing.
+		select {
+		case id := <-inc.barriers[idx]:
+			inc.recordBarrierPosition(idx, id, pos)
+			for op := 0; op < e.top.WindowParallelism; op++ {
+				if !inc.sendEvent(op, event{kind: evBarrier, from: idx, barrierID: id, watermark: pos}) {
+					return
+				}
+			}
+			continue
+		case <-inc.stopCh:
+			return
+		default:
+		}
+
+		target := pos + flush
+		if wait := time.Until(time.Unix(0, target)); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-inc.stopCh:
+				return
+			}
+		}
+		recs := e.top.Gen(idx, pos, target)
+		for _, op := range e.top.Ops {
+			recs = op(recs)
+		}
+		parts := data.PartitionRecords(recs, part)
+		for op, prs := range parts {
+			if !inc.sendEvent(op, event{kind: evRecords, from: idx, recs: prs, watermark: target}) {
+				return
+			}
+		}
+		pos = target
+	}
+}
+
+// windowLoop is one keyed window operator instance: it folds records into
+// window state, advances the min-watermark across its inputs, emits
+// finalized windows to the sink, and participates in barrier alignment.
+func (inc *incarnation) windowLoop(idx int, snap opSnapshot) {
+	defer inc.wg.Done()
+	e := inc.e
+	numSources := e.top.SourceParallelism
+	windows := snap.windows
+	emittedThrough := snap.emittedThrough
+	watermarks := make([]int64, numSources)
+	for i := range watermarks {
+		watermarks[i] = -1
+	}
+
+	aligning := false
+	var alignID int64
+	arrived := make([]bool, numSources)
+	var buffered []event
+
+	apply := func(ev event) {
+		for i := range ev.recs {
+			w := e.top.Window.Assign(ev.recs[i].Time)
+			kv, ok := windows[w]
+			if !ok {
+				kv = make(map[uint64]int64)
+				windows[w] = kv
+			}
+			if v, ok := kv[ev.recs[i].Key]; ok {
+				kv[ev.recs[i].Key] = e.top.Reduce(v, ev.recs[i].Val)
+			} else {
+				kv[ev.recs[i].Key] = ev.recs[i].Val
+			}
+		}
+		atomic.AddInt64(&e.stats.Records, int64(len(ev.recs)))
+		watermarks[ev.from] = ev.watermark
+
+		wm := watermarks[0]
+		for _, w := range watermarks[1:] {
+			if w < wm {
+				wm = w
+			}
+		}
+		if wm <= emittedThrough {
+			return
+		}
+		size := int64(e.top.Window.Size)
+		var out []data.Record
+		for w, kv := range windows {
+			if end := w + size; end <= wm && end > emittedThrough {
+				for k, v := range kv {
+					out = append(out, data.Record{Key: k, Val: v, Time: w})
+				}
+				delete(windows, w)
+			}
+		}
+		emittedThrough = wm
+		if len(out) > 0 && e.top.Sink != nil {
+			e.top.Sink(-1, idx, out)
+		}
+	}
+
+	for {
+		select {
+		case <-inc.stopCh:
+			return
+		case ev := <-inc.inboxes[idx]:
+			if aligning && arrived[ev.from] && ev.kind == evRecords {
+				// Input already barriered: buffer until alignment
+				// completes (this is what makes the snapshot consistent).
+				buffered = append(buffered, ev)
+				continue
+			}
+			switch ev.kind {
+			case evRecords:
+				apply(ev)
+			case evBarrier:
+				if aligning && ev.barrierID != alignID {
+					// A newer attempt superseded an abandoned checkpoint:
+					// drop the old alignment and release the buffer.
+					aligning = false
+					for _, b := range buffered {
+						if b.kind == evRecords {
+							apply(b)
+						}
+					}
+					buffered = buffered[:0]
+				}
+				if !aligning {
+					aligning = true
+					alignID = ev.barrierID
+					for i := range arrived {
+						arrived[i] = false
+					}
+				}
+				arrived[ev.from] = true
+				all := true
+				for _, a := range arrived {
+					all = all && a
+				}
+				if all {
+					snap := opSnapshot{windows: windows, emittedThrough: emittedThrough}.clone()
+					select {
+					case inc.ackCh <- ack{barrierID: alignID, op: idx, snap: snap}:
+					case <-inc.stopCh:
+						return
+					}
+					aligning = false
+					for _, b := range buffered {
+						if b.kind == evRecords {
+							apply(b)
+						}
+					}
+					buffered = buffered[:0]
+				}
+			}
+		}
+	}
+}
+
+// coordinator periodically injects barriers and assembles completed
+// checkpoints from operator acks and the positions sources recorded at
+// barrier emission.
+func (inc *incarnation) coordinator(lastID int64) {
+	defer inc.wg.Done()
+	e := inc.e
+	t := time.NewTicker(e.cfg.CheckpointInterval)
+	defer t.Stop()
+	nextID := lastID + 1
+	for {
+		select {
+		case <-inc.stopCh:
+			return
+		case <-t.C:
+		}
+		id := nextID
+		nextID++
+		for s := 0; s < e.top.SourceParallelism; s++ {
+			select {
+			case inc.barriers[s] <- id:
+			case <-inc.stopCh:
+				return
+			}
+		}
+		// Collect acks from every window operator; abandon the attempt on
+		// timeout (the next tick retries with a new id).
+		snaps := make([]opSnapshot, e.top.WindowParallelism)
+		need := e.top.WindowParallelism
+		timeout := time.After(e.cfg.CheckpointInterval * 4)
+		ok := true
+		for need > 0 && ok {
+			select {
+			case <-inc.stopCh:
+				return
+			case a := <-inc.ackCh:
+				if a.barrierID != id {
+					continue // stale ack from an abandoned attempt
+				}
+				snaps[a.op] = a.snap
+				need--
+			case <-timeout:
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Every op acked, so every source emitted the barrier and recorded
+		// its replay position first; the lookups below cannot miss.
+		positions := make([]int64, e.top.SourceParallelism)
+		for s := range positions {
+			pos, found := inc.barrierPosition(s, id)
+			if !found {
+				ok = false
+				break
+			}
+			positions[s] = pos
+		}
+		if !ok {
+			continue
+		}
+		e.mu.Lock()
+		e.lastComplete = &checkpointState{id: id, positions: positions, states: snaps}
+		e.stats.Checkpoints++
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,85 @@
+// Package core contains the scheduling heart of Drizzle — the pieces the
+// paper contributes on top of a BSP engine:
+//
+//   - Group scheduling (§3.1): the GroupPlanner turns a logical plan plus a
+//     range of micro-batches into per-worker bundles of task descriptors so
+//     the driver makes one scheduling decision and one RPC per worker per
+//     *group* instead of per stage per micro-batch.
+//   - Pre-scheduling (§3.2): TaskDescriptors for downstream (reduce) tasks
+//     carry dependency lists instead of data locations; the worker-side
+//     LocalScheduler keeps them inactive until upstream tasks push
+//     DataReady notifications directly, removing the intra-batch barrier.
+//   - Placement: rendezvous hashing keeps the (stage, partition) → worker
+//     mapping stable across groups and minimally disturbed by membership
+//     changes, which is what lets reduce state stay put between groups.
+//
+// The package is pure coordination logic with no I/O; internal/engine wires
+// it to the rpc transport and executors, and internal/sim replays the same
+// protocols under a virtual clock for the scaling experiments.
+package core
+
+import (
+	"fmt"
+
+	"drizzle/internal/rpc"
+)
+
+// BatchID identifies a micro-batch. Batch b covers event time
+// [start + b*T, start + (b+1)*T).
+type BatchID int64
+
+// TaskID identifies one task: a (micro-batch, stage, partition) triple.
+type TaskID struct {
+	Batch     BatchID
+	Stage     int
+	Partition int
+}
+
+// String implements fmt.Stringer.
+func (t TaskID) String() string {
+	return fmt.Sprintf("task(b=%d s=%d p=%d)", t.Batch, t.Stage, t.Partition)
+}
+
+// Dep names one upstream map output a task depends on: the output of map
+// partition MapPartition of stage Stage in micro-batch Batch of job Job.
+// The job name is part of the identity so that consecutive runs on the
+// same workers (whose batch numbering restarts at zero) can never satisfy
+// each other's dependencies.
+type Dep struct {
+	Job          string
+	Batch        BatchID
+	Stage        int
+	MapPartition int
+}
+
+// TaskDescriptor is everything a worker needs to queue one task. The
+// executing side already holds the job's logical plan (plans are registered
+// by name on every node, the moral equivalent of shipping closures), so the
+// descriptor is small — which is what makes bundling a whole group of them
+// into one RPC cheap.
+type TaskDescriptor struct {
+	Job string
+	ID  TaskID
+	// NotBefore, for source tasks, is the wall-clock close time of the
+	// micro-batch in unix nanoseconds: the task must not run before the
+	// batch's input interval has elapsed. Zero means run when ready.
+	// This field is what lets Drizzle launch tasks for future micro-batches
+	// ahead of time without processing future data early.
+	NotBefore int64
+	// Deps lists the upstream map outputs the task must wait for. Empty
+	// for source tasks.
+	Deps []Dep
+	// KnownLocations pre-populates dependency locations. The BSP mode
+	// fills it completely (the driver barrier collected all locations);
+	// Drizzle recovery uses it to replay completed dependencies to
+	// rescheduled tasks (§3.3).
+	KnownLocations map[Dep]rpc.NodeID
+	// NotifyDownstream, when set, tells the worker to push DataReady
+	// notifications directly to downstream workers on completion
+	// (pre-scheduling). BSP mode leaves it false and routes metadata
+	// through the driver instead.
+	NotifyDownstream bool
+	// Group is the sequence number of the scheduling group this task
+	// belongs to, used for bookkeeping and purge decisions.
+	Group int64
+}

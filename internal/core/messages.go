@@ -1,0 +1,129 @@
+package core
+
+import (
+	"drizzle/internal/rpc"
+)
+
+// Control-plane messages exchanged between the driver and workers, and
+// between workers (DataReady). All are registered with the gob codec so the
+// same protocol runs over TCP.
+
+// SubmitJob installs a job on a worker by registry name before any of its
+// tasks are launched.
+type SubmitJob struct {
+	Job string
+	// StartNanos is the job's epoch: batch b closes at
+	// StartNanos + (b+1)*Interval.
+	StartNanos int64
+}
+
+// MembershipUpdate announces the current live worker set. Workers compute
+// placement from it locally (rendezvous hashing is deterministic), so a
+// single small broadcast re-routes all future worker-to-worker
+// notifications after an elasticity or failure event.
+type MembershipUpdate struct {
+	Epoch   int64
+	Workers []rpc.NodeID
+	// Addrs carries worker addresses for transports that need routing
+	// tables (TCP); the in-process transport ignores it.
+	Addrs map[rpc.NodeID]string
+}
+
+// LaunchTasks delivers a bundle of task descriptors to one worker — the
+// group scheduling RPC. PurgeBefore lets workers garbage-collect shuffle
+// blocks and dependency bookkeeping of micro-batches older than the batch
+// given (exclusive).
+type LaunchTasks struct {
+	Tasks       []TaskDescriptor
+	PurgeBefore BatchID
+}
+
+// WireSize implements rpc.Sizer: launch cost scales with the number of
+// descriptors, which is how the transport charges group scheduling's
+// amortized (large, rare) messages versus BSP's small frequent ones.
+func (l LaunchTasks) WireSize() int { return 64 + 192*len(l.Tasks) }
+
+// CancelTasks removes queued (not yet running) tasks from a worker's local
+// scheduler, used when the driver re-plans after a failure.
+type CancelTasks struct {
+	IDs []TaskID
+}
+
+// DataReady is the pre-scheduling notification: the holder of a completed
+// map output tells a downstream worker the dependency is satisfied and
+// where to fetch it from. Sent worker-to-worker; the driver also relays it
+// for tasks it re-schedules during recovery.
+type DataReady struct {
+	Dep    Dep
+	Holder rpc.NodeID
+	Size   int64
+}
+
+// TaskStatus is the asynchronous task completion report to the driver.
+type TaskStatus struct {
+	ID     TaskID
+	Worker rpc.NodeID
+	OK     bool
+	Err    string
+	// OutputSizes, for map tasks, gives per-reduce-partition output bytes.
+	// The BSP driver uses it at its stage barrier; the Drizzle driver only
+	// records the holder for lineage.
+	OutputSizes []int64
+	// RunNanos is the task's execution time, used for the breakdown
+	// figures and the group-size tuner.
+	RunNanos int64
+	// QueueNanos is the time between the task becoming runnable and
+	// starting, reported for the scheduler-delay breakdown.
+	QueueNanos int64
+}
+
+// Heartbeat is the worker liveness signal.
+type Heartbeat struct {
+	Worker rpc.NodeID
+	Nanos  int64
+}
+
+// TakeCheckpoint asks a worker to snapshot the state of its terminal-stage
+// partitions that have applied every batch up to and including UpTo.
+type TakeCheckpoint struct {
+	Job  string
+	UpTo BatchID
+}
+
+// CheckpointData returns one partition's serialized state to the driver.
+type CheckpointData struct {
+	Job       string
+	Stage     int
+	Partition int
+	UpTo      BatchID
+	State     []byte
+}
+
+// WireSize implements rpc.Sizer.
+func (c CheckpointData) WireSize() int { return 64 + len(c.State) }
+
+// RestoreState installs a state snapshot on a worker, used when a terminal
+// partition moves after a failure or elasticity event.
+type RestoreState struct {
+	Job       string
+	Stage     int
+	Partition int
+	UpTo      BatchID
+	State     []byte
+}
+
+// WireSize implements rpc.Sizer.
+func (r RestoreState) WireSize() int { return 64 + len(r.State) }
+
+func init() {
+	rpc.RegisterType(SubmitJob{})
+	rpc.RegisterType(MembershipUpdate{})
+	rpc.RegisterType(LaunchTasks{})
+	rpc.RegisterType(CancelTasks{})
+	rpc.RegisterType(DataReady{})
+	rpc.RegisterType(TaskStatus{})
+	rpc.RegisterType(Heartbeat{})
+	rpc.RegisterType(TakeCheckpoint{})
+	rpc.RegisterType(CheckpointData{})
+	rpc.RegisterType(RestoreState{})
+}

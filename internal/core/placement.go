@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"drizzle/internal/rpc"
+)
+
+// Placement maps (stage, partition) pairs to workers using rendezvous
+// (highest-random-weight) hashing. Two properties matter:
+//
+//   - Determinism: every node computes the same mapping from the same
+//     membership list, so a single MembershipUpdate broadcast re-routes all
+//     worker-to-worker notifications consistently.
+//   - Minimal disruption: when a worker dies, only the partitions it owned
+//     move; everything else — including the window state held by terminal
+//     partitions — stays where it is.
+type Placement struct {
+	epoch   int64
+	workers []rpc.NodeID // sorted for determinism
+	index   map[rpc.NodeID]bool
+}
+
+// NewPlacement builds a placement over the given live workers.
+func NewPlacement(epoch int64, workers []rpc.NodeID) Placement {
+	ws := append([]rpc.NodeID(nil), workers...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	idx := make(map[rpc.NodeID]bool, len(ws))
+	for _, w := range ws {
+		idx[w] = true
+	}
+	return Placement{epoch: epoch, workers: ws, index: idx}
+}
+
+// Epoch returns the membership epoch this placement was derived from.
+func (p Placement) Epoch() int64 { return p.epoch }
+
+// Workers returns the live workers (sorted).
+func (p Placement) Workers() []rpc.NodeID {
+	return append([]rpc.NodeID(nil), p.workers...)
+}
+
+// NumWorkers reports the size of the live set.
+func (p Placement) NumWorkers() int { return len(p.workers) }
+
+// Contains reports whether w is in the live set.
+func (p Placement) Contains(w rpc.NodeID) bool { return p.index[w] }
+
+// Assign returns the worker owning (stage, partition). It panics if the
+// placement is empty: scheduling onto an empty cluster is a driver bug that
+// must not be silently absorbed.
+func (p Placement) Assign(stage, partition int) rpc.NodeID {
+	if len(p.workers) == 0 {
+		panic("core: placement over empty worker set")
+	}
+	var (
+		best      rpc.NodeID
+		bestScore uint64
+	)
+	for _, w := range p.workers {
+		s := rendezvousScore(w, stage, partition)
+		if best == "" || s > bestScore || (s == bestScore && w < best) {
+			best, bestScore = w, s
+		}
+	}
+	return best
+}
+
+// AssignStage returns the owners of all partitions of a stage.
+func (p Placement) AssignStage(stage, numPartitions int) []rpc.NodeID {
+	out := make([]rpc.NodeID, numPartitions)
+	for i := range out {
+		out[i] = p.Assign(stage, i)
+	}
+	return out
+}
+
+// rendezvousScore hashes (worker, stage, partition). The worker id bytes go
+// through FNV-1a; the coordinates are folded in and the result is run
+// through a murmur3-style finalizer, which diffuses low-bit coordinate
+// differences into the high bits the max comparison is dominated by.
+func rendezvousScore(w rpc.NodeID, stage, partition int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(w); i++ {
+		h ^= uint64(w[i])
+		h *= prime64
+	}
+	h ^= uint64(stage)*0x9e3779b97f4a7c15 + uint64(partition)*0xc2b2ae3d27d4eb4f
+	return fmix64(h)
+}
+
+// fmix64 is the 64-bit finalizer from MurmurHash3.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

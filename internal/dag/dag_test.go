@@ -1,0 +1,148 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"drizzle/internal/data"
+)
+
+func twoStageJob() *Job {
+	return &Job{
+		Name:     "test",
+		Interval: 100 * time.Millisecond,
+		Stages: []Stage{
+			{
+				ID:            0,
+				NumPartitions: 4,
+				Source:        func(BatchInfo) []data.Record { return nil },
+				Shuffle:       &ShuffleSpec{NumReducers: 2},
+			},
+			{
+				ID:            1,
+				NumPartitions: 2,
+				Parents:       []int{0},
+				Reduce:        Sum,
+				Window:        &WindowSpec{Size: time.Second},
+				Sink:          func(int64, int, []data.Record) {},
+			},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodJob(t *testing.T) {
+	if err := twoStageJob().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"no stages", func(j *Job) { j.Stages = nil }},
+		{"zero interval", func(j *Job) { j.Interval = 0 }},
+		{"bad stage id", func(j *Job) { j.Stages[1].ID = 5 }},
+		{"zero partitions", func(j *Job) { j.Stages[0].NumPartitions = 0 }},
+		{"source stage without Source", func(j *Job) { j.Stages[0].Source = nil }},
+		{"interior stage with Source", func(j *Job) {
+			j.Stages[1].Source = func(BatchInfo) []data.Record { return nil }
+		}},
+		{"parent out of order", func(j *Job) { j.Stages[1].Parents = []int{1} }},
+		{"partition mismatch", func(j *Job) { j.Stages[1].NumPartitions = 3 }},
+		{"combine without func", func(j *Job) { j.Stages[0].Shuffle.Combine = true }},
+		{"terminal with shuffle", func(j *Job) {
+			j.Stages[1].Shuffle = &ShuffleSpec{NumReducers: 1}
+		}},
+		{"window without reduce", func(j *Job) { j.Stages[1].Reduce = nil }},
+		{"zero window", func(j *Job) { j.Stages[1].Window.Size = 0 }},
+		{"dangling shuffle", func(j *Job) {
+			j.Stages[1].Parents = nil
+			j.Stages[1].Source = func(BatchInfo) []data.Record { return nil }
+		}},
+	}
+	for _, c := range cases {
+		j := twoStageJob()
+		c.mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", c.name)
+		}
+	}
+}
+
+func TestWindowAssign(t *testing.T) {
+	w := WindowSpec{Size: 10 * time.Second}
+	sec := int64(time.Second)
+	cases := []struct{ t, want int64 }{
+		{0, 0},
+		{5 * sec, 0},
+		{10 * sec, 10 * sec},
+		{19*sec + 999, 10 * sec},
+		{-1, -10 * sec},
+	}
+	for _, c := range cases {
+		if got := w.Assign(c.t); got != c.want {
+			t.Errorf("Assign(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+// TestWindowAssignQuick property-tests the "every record lands in exactly
+// one window" invariant: start <= t < start + size.
+func TestWindowAssignQuick(t *testing.T) {
+	w := WindowSpec{Size: 7 * time.Millisecond}
+	f := func(ts int64) bool {
+		start := w.Assign(ts)
+		return start <= ts && ts < start+int64(w.Size) && start%int64(w.Size) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNarrowOps(t *testing.T) {
+	recs := []data.Record{{Key: 1, Val: 1}, {Key: 2, Val: 2}, {Key: 3, Val: 3}}
+	s := Stage{Ops: []NarrowOp{
+		Filter(func(r data.Record) bool { return r.Key != 2 }),
+		Map(func(r data.Record) data.Record { r.Val *= 10; return r }),
+		FlatMap(func(r data.Record) []data.Record { return []data.Record{r, r} }),
+	}}
+	out := s.ApplyOps(recs)
+	if len(out) != 4 {
+		t.Fatalf("got %d records, want 4", len(out))
+	}
+	if out[0].Val != 10 || out[2].Val != 30 {
+		t.Fatalf("ops misapplied: %v", out)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	j := twoStageJob()
+	if got := j.Children(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Children(0) = %v, want [1]", got)
+	}
+	if got := j.Children(1); got != nil {
+		t.Fatalf("Children(1) = %v, want nil", got)
+	}
+}
+
+func TestReduceFuncs(t *testing.T) {
+	if Sum(2, 3) != 5 {
+		t.Fatal("Sum broken")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestStagePredicates(t *testing.T) {
+	j := twoStageJob()
+	if !j.Stages[0].IsSource() || j.Stages[0].IsTerminal() {
+		t.Fatal("stage 0 predicates wrong")
+	}
+	if j.Stages[1].IsSource() || !j.Stages[1].IsTerminal() {
+		t.Fatal("stage 1 predicates wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary layout of an encoded record batch:
+//
+//	uint32 count
+//	repeated count times:
+//	    uint64 key | int64 val | int64 time | uint32 payloadLen | payload
+//
+// All integers are little-endian. The format is used on the shuffle wire and
+// in checkpoint files, so it must stay stable and be validated on decode.
+
+var errCorrupt = errors.New("data: corrupt record batch")
+
+const recordHeaderSize = 8 + 8 + 8 + 4
+
+// EncodedSize returns the exact number of bytes EncodeBatch will produce.
+func EncodedSize(recs []Record) int {
+	n := 4
+	for i := range recs {
+		n += recordHeaderSize + len(recs[i].Payload)
+	}
+	return n
+}
+
+// EncodeBatch appends the binary encoding of recs to dst and returns the
+// extended slice.
+func EncodeBatch(dst []byte, recs []Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Val))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Time))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Payload)))
+		dst = append(dst, r.Payload...)
+	}
+	return dst
+}
+
+// DecodeBatch decodes a record batch produced by EncodeBatch. It returns the
+// records and the number of bytes consumed.
+func DecodeBatch(b []byte) ([]Record, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("%w: short header (%d bytes)", errCorrupt, len(b))
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	// Guard against absurd counts before allocating.
+	if count < 0 || count > len(b)/recordHeaderSize+1 {
+		return nil, 0, fmt.Errorf("%w: implausible record count %d for %d bytes", errCorrupt, count, len(b))
+	}
+	recs := make([]Record, count)
+	for i := 0; i < count; i++ {
+		if len(b)-off < recordHeaderSize {
+			return nil, 0, fmt.Errorf("%w: truncated record %d", errCorrupt, i)
+		}
+		r := &recs[i]
+		r.Key = binary.LittleEndian.Uint64(b[off:])
+		r.Val = int64(binary.LittleEndian.Uint64(b[off+8:]))
+		r.Time = int64(binary.LittleEndian.Uint64(b[off+16:]))
+		plen := int(binary.LittleEndian.Uint32(b[off+24:]))
+		off += recordHeaderSize
+		if plen < 0 || len(b)-off < plen {
+			return nil, 0, fmt.Errorf("%w: truncated payload of record %d (%d bytes)", errCorrupt, i, plen)
+		}
+		if plen > 0 {
+			r.Payload = append([]byte(nil), b[off:off+plen]...)
+			off += plen
+		}
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,159 @@
+// Package engine is the distributed micro-batch execution runtime: a
+// centralized driver, workers with executor slots and worker-local
+// schedulers, the shuffle data plane, and fault recovery. It executes the
+// same logical plans under three scheduling disciplines so the paper's
+// systems can be compared apples-to-apples:
+//
+//   - ModeBSP reproduces Spark Streaming's coordination pattern (Figure 1):
+//     every stage of every micro-batch is planned at the driver, with a
+//     barrier collecting map-output metadata before reducers launch.
+//   - ModeDrizzle with GroupSize 1 is pre-scheduling only (§3.2): both
+//     stages of a micro-batch launch up front and workers exchange
+//     data-ready notifications directly, but micro-batches still barrier at
+//     the driver.
+//   - ModeDrizzle with GroupSize g > 1 adds group scheduling (§3.1): one
+//     scheduling decision and one launch RPC per worker covers g
+//     micro-batches, and the driver coordinates only at group boundaries.
+package engine
+
+import (
+	"time"
+
+	"drizzle/internal/groupsize"
+)
+
+// Mode selects the scheduling discipline.
+type Mode int
+
+const (
+	// ModeBSP is per-micro-batch, per-stage centralized scheduling.
+	ModeBSP Mode = iota
+	// ModeDrizzle is pre-scheduling plus group scheduling.
+	ModeDrizzle
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBSP:
+		return "bsp"
+	case ModeDrizzle:
+		return "drizzle"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel emulates the driver-side costs that dominate centralized
+// scheduling at scale (§2.2): CPU time to serialize each task descriptor
+// and per-RPC overhead. On a laptop these are nanoseconds; on the paper's
+// 128-node cluster they reach ~195 ms per micro-batch, so experiments
+// install non-zero values (see DESIGN.md, substitutions). The costs are
+// charged identically in every mode — group scheduling wins by paying them
+// once per group, not by paying less per task.
+type CostModel struct {
+	// PerTaskSerialize is driver CPU charged per full scheduling decision:
+	// assignment, locality, serialization of one task descriptor.
+	PerTaskSerialize time.Duration
+	// PerTaskCopy is driver CPU charged per task instance whose scheduling
+	// decision is *reused* from the group's first micro-batch (§3.1) —
+	// orders of magnitude cheaper than a fresh decision.
+	PerTaskCopy time.Duration
+	// PerMessage is driver CPU charged per control RPC sent.
+	PerMessage time.Duration
+}
+
+// LaunchCost returns the driver-side cost of one scheduling event that
+// makes `decisions` fresh decisions, reuses them for `copies` additional
+// task instances, and sends `messages` RPCs.
+func (c CostModel) LaunchCost(decisions, copies, messages int) time.Duration {
+	return time.Duration(decisions)*c.PerTaskSerialize +
+		time.Duration(copies)*c.PerTaskCopy +
+		time.Duration(messages)*c.PerMessage
+}
+
+// Config parameterizes a cluster (driver + workers).
+type Config struct {
+	// Mode selects BSP or Drizzle scheduling.
+	Mode Mode
+	// GroupSize is the number of micro-batches per scheduling group in
+	// ModeDrizzle (1 = pre-scheduling only). Ignored in ModeBSP.
+	GroupSize int
+	// AutoTune enables the AIMD group-size tuner (§3.4), overriding
+	// GroupSize after the first group.
+	AutoTune bool
+	// Tuner configures the AIMD controller when AutoTune is set.
+	Tuner groupsize.Config
+
+	// SlotsPerWorker is the number of concurrent task slots per worker
+	// (the paper's experiments use 4, matching r3.xlarge cores).
+	SlotsPerWorker int
+	// CheckpointEvery takes a synchronous state checkpoint every N groups
+	// (BSP: every N micro-batches). 0 disables periodic checkpoints
+	// (membership changes still checkpoint).
+	CheckpointEvery int
+
+	// HeartbeatInterval is how often workers report liveness.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long the driver waits before declaring a
+	// silent worker dead.
+	HeartbeatTimeout time.Duration
+	// FetchTimeout bounds a shuffle fetch before the task reports failure.
+	FetchTimeout time.Duration
+	// StallResend is a safety net: if a group makes no progress for this
+	// long, the driver re-sends descriptors for incomplete tasks with its
+	// best-known dependency locations. 0 picks a default.
+	StallResend time.Duration
+	// MaxTaskAttempts aborts the run when a single task fails this many
+	// times (a correctness bug, not a transient).
+	MaxTaskAttempts int
+	// RetryDelay is how long the driver waits before re-submitting a
+	// failed task, giving failure detection time to update placement and
+	// lineage so the retry does not chase the same dead machine.
+	RetryDelay time.Duration
+
+	// Costs emulates driver-side scheduling costs.
+	Costs CostModel
+}
+
+// DefaultConfig returns a Config suitable for in-process tests: Drizzle
+// mode, small group, fast heartbeats, no emulated costs.
+func DefaultConfig() Config {
+	return Config{
+		Mode:              ModeDrizzle,
+		GroupSize:         5,
+		SlotsPerWorker:    4,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		FetchTimeout:      2 * time.Second,
+		MaxTaskAttempts:   5,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.GroupSize <= 0 {
+		c.GroupSize = 1
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 4
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 8 * c.HeartbeatInterval
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+	if c.StallResend <= 0 {
+		c.StallResend = 5 * time.Second
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 5
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = c.HeartbeatTimeout / 2
+	}
+	return c
+}

@@ -1,0 +1,902 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"drizzle/internal/checkpoint"
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/groupsize"
+	"drizzle/internal/metrics"
+	"drizzle/internal/rpc"
+)
+
+// Driver is the centralized scheduler. A single driver runs one job at a
+// time (Run is blocking); it owns membership, failure detection, group
+// planning, the stage barrier in BSP mode, checkpointing, and recovery.
+type Driver struct {
+	id   rpc.NodeID
+	net  rpc.Network
+	cfg  Config
+	reg  *Registry
+	ckpt checkpoint.Store
+
+	mu        sync.Mutex
+	workers   map[rpc.NodeID]*workerState
+	addrs     map[rpc.NodeID]string
+	pendAdd   []rpc.NodeID
+	pendRm    []rpc.NodeID
+	epoch     int64
+	placement core.Placement
+
+	statusCh chan core.TaskStatus
+	failCh   chan rpc.NodeID
+	retryCh  chan core.TaskID
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type workerState struct {
+	lastHeartbeat time.Time
+	alive         bool
+}
+
+// RunStats summarizes one Run for the experiment harness.
+type RunStats struct {
+	Mode    Mode
+	Batches int
+	// StartNanos is the job epoch (batch b closed at
+	// StartNanos + (b+1)*Interval), needed to interpret window times.
+	StartNanos int64
+	Groups     []int         // group sizes actually used, in order
+	Coord      time.Duration // driver coordination time (plan+serialize+send+barrier bookkeeping)
+	Exec       time.Duration // time spent waiting on task execution
+	Wall       time.Duration
+	Failures   int // worker failures handled
+	Resubmits  int // tasks re-submitted (failure or recovery)
+	TaskRun    *metrics.Histogram
+	TaskQueue  *metrics.Histogram
+	TunerTrace []groupsize.Decision
+}
+
+// NewDriver constructs a driver; call Start to attach it to the network.
+// ckptStore may be nil, in which case an in-memory store is used.
+func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptStore checkpoint.Store) *Driver {
+	if ckptStore == nil {
+		ckptStore = checkpoint.NewMemStore()
+	}
+	return &Driver{
+		id:       id,
+		net:      net,
+		cfg:      cfg.withDefaults(),
+		reg:      reg,
+		ckpt:     ckptStore,
+		workers:  make(map[rpc.NodeID]*workerState),
+		addrs:    make(map[rpc.NodeID]string),
+		statusCh: make(chan core.TaskStatus, 1<<16),
+		failCh:   make(chan rpc.NodeID, 64),
+		retryCh:  make(chan core.TaskID, 4096),
+		stop:     make(chan struct{}),
+	}
+}
+
+// ID returns the driver's node id.
+func (d *Driver) ID() rpc.NodeID { return d.id }
+
+// Start registers the driver on the network and launches the failure
+// monitor.
+func (d *Driver) Start() error {
+	if err := d.net.Register(d.id, d.handle); err != nil {
+		return fmt.Errorf("engine: driver: %w", err)
+	}
+	d.wg.Add(1)
+	go d.monitor()
+	return nil
+}
+
+// Stop halts the driver.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// AddWorker admits a worker. Before a run it joins immediately; during a
+// run it joins at the next group boundary (§3.3, elasticity).
+func (d *Driver) AddWorker(id rpc.NodeID) {
+	d.AddWorkerAddr(id, "")
+}
+
+// AddWorkerAddr admits a worker and records its transport address, which
+// is distributed to peers in membership updates (needed on TCP networks).
+func (d *Driver) AddWorkerAddr(id rpc.NodeID, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr != "" {
+		d.addrs[id] = addr
+		if a, ok := d.net.(rpc.Announcer); ok {
+			a.Announce(id, addr)
+		}
+	}
+	if ws, ok := d.workers[id]; ok && ws.alive {
+		return
+	}
+	d.pendAdd = append(d.pendAdd, id)
+}
+
+// membershipUpdate builds the broadcast for a placement, including the
+// address table for TCP deployments.
+func (d *Driver) membershipUpdate(p core.Placement) core.MembershipUpdate {
+	m := core.MembershipUpdate{Epoch: p.Epoch(), Workers: p.Workers()}
+	d.mu.Lock()
+	if len(d.addrs) > 0 {
+		m.Addrs = make(map[rpc.NodeID]string, len(d.addrs))
+		for id, a := range d.addrs {
+			m.Addrs[id] = a
+		}
+	}
+	d.mu.Unlock()
+	return m
+}
+
+// RemoveWorker gracefully decommissions a worker at the next group
+// boundary. Its state partitions migrate via checkpoint/restore.
+func (d *Driver) RemoveWorker(id rpc.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pendRm = append(d.pendRm, id)
+}
+
+// LiveWorkers returns the current live worker set.
+func (d *Driver) LiveWorkers() []rpc.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.liveLocked()
+}
+
+func (d *Driver) liveLocked() []rpc.NodeID {
+	var out []rpc.NodeID
+	for id, ws := range d.workers {
+		if ws.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Driver) handle(from rpc.NodeID, msg any) {
+	switch m := msg.(type) {
+	case core.Heartbeat:
+		d.mu.Lock()
+		if ws, ok := d.workers[m.Worker]; ok && ws.alive {
+			ws.lastHeartbeat = time.Now()
+		}
+		d.mu.Unlock()
+	case core.TaskStatus:
+		select {
+		case d.statusCh <- m:
+		case <-d.stop:
+		}
+	case core.CheckpointData:
+		key := checkpoint.StateKey{Job: m.Job, Stage: m.Stage, Partition: m.Partition}
+		snap, err := checkpoint.DecodeSnapshot(key, m.State)
+		if err != nil {
+			log.Printf("engine: driver: bad checkpoint from %s for %v: %v", from, key, err)
+			return
+		}
+		if err := d.ckpt.Put(snap); err != nil {
+			log.Printf("engine: driver: store checkpoint %v: %v", key, err)
+		}
+	default:
+		log.Printf("engine: driver: unexpected message %T from %s", msg, from)
+	}
+}
+
+// monitor watches heartbeats and posts failure events.
+func (d *Driver) monitor() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-t.C:
+			d.mu.Lock()
+			var dead []rpc.NodeID
+			for id, ws := range d.workers {
+				if ws.alive && !ws.lastHeartbeat.IsZero() && now.Sub(ws.lastHeartbeat) > d.cfg.HeartbeatTimeout {
+					dead = append(dead, id)
+				}
+			}
+			d.mu.Unlock()
+			for _, id := range dead {
+				select {
+				case d.failCh <- id:
+				default:
+				}
+			}
+		}
+	}
+}
+
+func (d *Driver) broadcast(msg any) {
+	for _, w := range d.LiveWorkers() {
+		if err := d.net.Send(d.id, w, msg); err != nil {
+			log.Printf("engine: driver: send to %s: %v", w, err)
+		}
+	}
+}
+
+// admitPending applies queued membership changes and (re)broadcasts
+// membership. Returns the placement and whether membership changed.
+func (d *Driver) admitPending(jobName string, startNanos int64) (core.Placement, bool, []rpc.NodeID) {
+	d.mu.Lock()
+	added := d.pendAdd
+	removed := d.pendRm
+	d.pendAdd, d.pendRm = nil, nil
+	for _, id := range added {
+		d.workers[id] = &workerState{alive: true, lastHeartbeat: time.Now()}
+	}
+	for _, id := range removed {
+		delete(d.workers, id)
+	}
+	changed := len(added)+len(removed) > 0
+	if changed || d.placement.NumWorkers() == 0 {
+		d.epoch++
+		d.placement = core.NewPlacement(d.epoch, d.liveLocked())
+	}
+	p := d.placement
+	d.mu.Unlock()
+
+	// New workers need the job before membership makes them targets.
+	for _, id := range added {
+		if jobName != "" {
+			_ = d.net.Send(d.id, id, core.SubmitJob{Job: jobName, StartNanos: startNanos})
+		}
+	}
+	if changed {
+		d.broadcast(d.membershipUpdate(p))
+	}
+	return p, changed, added
+}
+
+// Run executes numBatches micro-batches of the named job and returns
+// aggregate statistics. It blocks until the job completes or fails.
+func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
+	job, ok := d.reg.Lookup(jobName)
+	if !ok {
+		return nil, fmt.Errorf("engine: job %q not registered", jobName)
+	}
+	if numBatches <= 0 {
+		return nil, fmt.Errorf("engine: numBatches must be positive")
+	}
+
+	rs := &runState{
+		planner: &core.GroupPlanner{
+			JobName:    jobName,
+			Job:        job,
+			StartNanos: alignedStart(job),
+		},
+		jobName:     jobName,
+		numBatches:  core.BatchID(numBatches),
+		outstanding: make(map[core.TaskID]rpc.NodeID),
+		completed:   make(map[core.TaskID]bool),
+		attempts:    make(map[core.TaskID]int),
+		mapHolders:  make(map[core.Dep]rpc.NodeID),
+		relay:       make(map[core.TaskID]bool),
+		ckptBatch:   -1,
+		stats: &RunStats{
+			Mode:      d.cfg.Mode,
+			Batches:   numBatches,
+			TaskRun:   metrics.NewHistogram(),
+			TaskQueue: metrics.NewHistogram(),
+		},
+	}
+	rs.stats.StartNanos = rs.planner.StartNanos
+
+	placement, _, _ := d.admitPending(jobName, rs.planner.StartNanos)
+	if placement.NumWorkers() == 0 {
+		return nil, errors.New("engine: no live workers")
+	}
+	rs.placement = placement
+	d.broadcast(core.SubmitJob{Job: jobName, StartNanos: rs.planner.StartNanos})
+	d.broadcast(d.membershipUpdate(placement))
+
+	var tuner *groupsize.Tuner
+	groupSize := d.cfg.GroupSize
+	if d.cfg.Mode == ModeBSP {
+		groupSize = 1
+	}
+	if d.cfg.AutoTune && d.cfg.Mode == ModeDrizzle {
+		cfg := d.cfg.Tuner
+		if cfg.MaxGroup == 0 {
+			cfg = groupsize.DefaultConfig()
+		}
+		var err error
+		tuner, err = groupsize.New(cfg, groupSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	wallStart := time.Now()
+	groupSeq := int64(0)
+	for b := core.BatchID(0); b < rs.numBatches; {
+		if p, changed, _ := d.admitPending(jobName, rs.planner.StartNanos); changed {
+			d.migrateState(rs, rs.placement, p)
+			rs.placement = p
+		}
+		g := groupSize
+		if rem := int(rs.numBatches - b); g > rem {
+			g = rem
+		}
+		var coord, exec time.Duration
+		var err error
+		if d.cfg.Mode == ModeBSP {
+			coord, exec, err = d.runBatchBSP(rs, b, groupSeq)
+		} else {
+			coord, exec, err = d.runGroupDrizzle(rs, b, g, groupSeq)
+		}
+		if err != nil {
+			return rs.stats, err
+		}
+		rs.stats.Coord += coord
+		rs.stats.Exec += exec
+		rs.stats.Groups = append(rs.stats.Groups, g)
+
+		b += core.BatchID(g)
+		groupSeq++
+
+		if d.cfg.CheckpointEvery > 0 && groupSeq%int64(d.cfg.CheckpointEvery) == 0 {
+			d.broadcast(core.TakeCheckpoint{Job: jobName, UpTo: b - 1})
+			rs.ckptBatch = b - 1
+		}
+		if tuner != nil {
+			groupSize = tuner.Update(coord, exec)
+		}
+	}
+	if tuner != nil {
+		rs.stats.TunerTrace = tuner.History()
+	}
+	rs.stats.Wall = time.Since(wallStart)
+	return rs.stats, nil
+}
+
+// runState is the driver's bookkeeping for one Run.
+type runState struct {
+	planner    *core.GroupPlanner
+	jobName    string
+	numBatches core.BatchID
+	placement  core.Placement
+
+	outstanding map[core.TaskID]rpc.NodeID // incomplete task -> assigned worker
+	completed   map[core.TaskID]bool
+	attempts    map[core.TaskID]int
+	mapHolders  map[core.Dep]rpc.NodeID // lineage: completed shuffle outputs
+	relay       map[core.TaskID]bool    // recovery tasks whose DataReady the driver relays
+	remaining   int
+
+	groupFirst core.BatchID
+	groupSize  int
+	ckptBatch  core.BatchID // last batch covered by a requested checkpoint
+
+	stats *RunStats
+}
+
+func (rs *runState) register(all []core.TaskDescriptor, byWorker map[rpc.NodeID][]core.TaskDescriptor) {
+	for w, descs := range byWorker {
+		for _, desc := range descs {
+			if !rs.completed[desc.ID] {
+				if _, dup := rs.outstanding[desc.ID]; !dup {
+					rs.remaining++
+				}
+				rs.outstanding[desc.ID] = w
+			}
+		}
+	}
+	_ = all
+}
+
+// purgeWatermark returns the batch below which shuffle blocks and
+// dependency bookkeeping may be dropped: everything checkpointed is
+// replayable from the snapshot, so only post-checkpoint batches are kept.
+func (rs *runState) purgeWatermark() core.BatchID {
+	wm := rs.ckptBatch + 1
+	if wm < 0 {
+		wm = 0
+	}
+	return wm
+}
+
+// runGroupDrizzle executes one scheduling group (§3.1/§3.2).
+func (d *Driver) runGroupDrizzle(rs *runState, first core.BatchID, g int, seq int64) (coord, exec time.Duration, err error) {
+	rs.groupFirst, rs.groupSize = first, g
+	coordStart := time.Now()
+	byWorker, all := rs.planner.PlanGroup(rs.placement, first, g, seq)
+	rs.register(all, byWorker)
+	// Decisions are made once for the first micro-batch and reused for the
+	// remaining g-1 (§3.1): that reuse is what group scheduling amortizes.
+	perBatch := len(all) / g
+	d.chargeCosts(perBatch, len(all)-perBatch, len(byWorker))
+	purge := rs.purgeWatermark()
+	for w, tasks := range byWorker {
+		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
+			log.Printf("engine: driver: launch to %s: %v", w, err)
+		}
+	}
+	pruneHolders(rs.mapHolders, purge)
+	coord = time.Since(coordStart)
+
+	execStart := time.Now()
+	err = d.waitTasks(rs)
+	exec = time.Since(execStart)
+	return coord, exec, err
+}
+
+// runBatchBSP executes one micro-batch stage-by-stage with driver barriers
+// (Figure 1's coordination pattern).
+func (d *Driver) runBatchBSP(rs *runState, b core.BatchID, seq int64) (coord, exec time.Duration, err error) {
+	rs.groupFirst, rs.groupSize = b, 1
+	// The JobGenerator fires when the batch's input interval closes.
+	if err := d.sleepUntil(rs, time.Unix(0, rs.planner.BatchCloseNanos(b))); err != nil {
+		return 0, 0, err
+	}
+	for si := range rs.planner.Job.Stages {
+		coordStart := time.Now()
+		byWorker, all := rs.planner.PlanStage(rs.placement, b, si, seq, rs.mapHolders)
+		rs.register(all, byWorker)
+		d.chargeCosts(len(all), 0, len(byWorker))
+		purge := rs.purgeWatermark()
+		for w, tasks := range byWorker {
+			if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
+				log.Printf("engine: driver: launch to %s: %v", w, err)
+			}
+		}
+		coord += time.Since(coordStart)
+
+		// Stage barrier: wait for every task of the stage before planning
+		// the next stage with the collected map-output locations.
+		execStart := time.Now()
+		if err := d.waitTasks(rs); err != nil {
+			return coord, exec, err
+		}
+		exec += time.Since(execStart)
+	}
+	pruneHolders(rs.mapHolders, rs.purgeWatermark())
+	return coord, exec, nil
+}
+
+// chargeCosts emulates driver-side scheduling CPU (see CostModel).
+func (d *Driver) chargeCosts(decisions, copies, messages int) {
+	if c := d.cfg.Costs.LaunchCost(decisions, copies, messages); c > 0 {
+		time.Sleep(c)
+	}
+}
+
+// sleepUntil waits for a deadline while staying responsive to failures.
+func (d *Driver) sleepUntil(rs *runState, deadline time.Time) error {
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-d.stop:
+			timer.Stop()
+			return errors.New("engine: driver stopped")
+		case w := <-d.failCh:
+			timer.Stop()
+			d.onWorkerFailure(rs, w)
+		case <-timer.C:
+			return nil
+		}
+	}
+}
+
+// waitTasks drains task statuses until every registered task completed,
+// handling failures and stalls.
+func (d *Driver) waitTasks(rs *runState) error {
+	stall := time.NewTimer(d.cfg.StallResend)
+	defer stall.Stop()
+	for rs.remaining > 0 {
+		select {
+		case <-d.stop:
+			return errors.New("engine: driver stopped")
+		case st := <-d.statusCh:
+			if err := d.onStatus(rs, st); err != nil {
+				return err
+			}
+			if !stall.Stop() {
+				select {
+				case <-stall.C:
+				default:
+				}
+			}
+			stall.Reset(d.cfg.StallResend)
+		case id := <-d.retryCh:
+			if _, waiting := rs.outstanding[id]; waiting && !rs.completed[id] {
+				d.resubmit(rs, []core.TaskID{id})
+			}
+		case w := <-d.failCh:
+			d.onWorkerFailure(rs, w)
+		case <-stall.C:
+			d.resendIncomplete(rs)
+			stall.Reset(d.cfg.StallResend)
+		}
+	}
+	return nil
+}
+
+// onStatus processes one task status report.
+func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
+	if rs.completed[st.ID] {
+		return nil // duplicate (resend or re-execution)
+	}
+	if _, known := rs.outstanding[st.ID]; !known {
+		return nil // stale report from a previous group
+	}
+	if !st.OK {
+		rs.attempts[st.ID]++
+		if rs.attempts[st.ID] >= d.cfg.MaxTaskAttempts {
+			return fmt.Errorf("engine: task %v failed %d times, last: %s", st.ID, rs.attempts[st.ID], st.Err)
+		}
+		rs.stats.Resubmits++
+		// Delay the retry: a failure usually means a machine just died,
+		// and the resubmission should happen after the membership update
+		// and lineage cleanup rather than chase the same dead holder.
+		id := st.ID
+		time.AfterFunc(d.cfg.RetryDelay, func() {
+			select {
+			case d.retryCh <- id:
+			case <-d.stop:
+			}
+		})
+		return nil
+	}
+	rs.completed[st.ID] = true
+	delete(rs.outstanding, st.ID)
+	rs.remaining--
+	rs.stats.TaskRun.ObserveMillis(float64(st.RunNanos) / 1e6)
+	rs.stats.TaskQueue.ObserveMillis(float64(st.QueueNanos) / 1e6)
+
+	stage := &rs.planner.Job.Stages[st.ID.Stage]
+	if stage.Shuffle != nil {
+		dep := core.Dep{Job: rs.jobName, Batch: st.ID.Batch, Stage: st.ID.Stage, MapPartition: st.ID.Partition}
+		rs.mapHolders[dep] = st.Worker
+		if rs.relay[st.ID] {
+			delete(rs.relay, st.ID)
+			d.relayDataReady(rs, dep, st.Worker)
+		}
+	}
+	return nil
+}
+
+// relayDataReady forwards a recovered map output's location to the current
+// owners of its consumers, covering notification races around failures.
+func (d *Driver) relayDataReady(rs *runState, dep core.Dep, holder rpc.NodeID) {
+	sent := make(map[rpc.NodeID]bool)
+	for _, child := range rs.planner.Job.Children(dep.Stage) {
+		for r := 0; r < rs.planner.Job.Stages[child].NumPartitions; r++ {
+			owner := rs.placement.Assign(child, r)
+			if sent[owner] {
+				continue
+			}
+			sent[owner] = true
+			_ = d.net.Send(d.id, owner, core.DataReady{Dep: dep, Holder: holder})
+		}
+	}
+}
+
+// resubmit rebuilds descriptors for the given tasks against the current
+// placement and lineage, and launches them.
+func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
+	byWorker := make(map[rpc.NodeID][]core.TaskDescriptor)
+	for _, id := range ids {
+		stage := &rs.planner.Job.Stages[id.Stage]
+		desc := core.TaskDescriptor{
+			Job:              rs.jobName,
+			ID:               id,
+			Deps:             rs.planner.DepsOf(id.Batch, id.Stage, id.Partition),
+			NotifyDownstream: d.cfg.Mode == ModeDrizzle,
+		}
+		if stage.IsSource() {
+			desc.NotBefore = rs.planner.BatchCloseNanos(id.Batch)
+		}
+		if len(desc.Deps) > 0 {
+			known := make(map[core.Dep]rpc.NodeID)
+			for _, dep := range desc.Deps {
+				if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
+					known[dep] = h
+				}
+			}
+			desc.KnownLocations = known
+		}
+		w := rs.placement.Assign(id.Stage, id.Partition)
+		byWorker[w] = append(byWorker[w], desc)
+		if !rs.completed[id] {
+			if _, dup := rs.outstanding[id]; !dup {
+				rs.remaining++
+			}
+		} else {
+			rs.completed[id] = false
+			rs.remaining++
+		}
+		rs.outstanding[id] = w
+		if stage.Shuffle != nil {
+			rs.relay[id] = true
+		}
+	}
+	d.chargeCosts(len(ids), 0, len(byWorker))
+	for w, tasks := range byWorker {
+		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: rs.purgeWatermark()}); err != nil {
+			log.Printf("engine: driver: resubmit to %s: %v", w, err)
+		}
+	}
+}
+
+// resendIncomplete is the stall safety net: re-deliver descriptors for all
+// incomplete tasks with the driver's best-known dependency locations.
+func (d *Driver) resendIncomplete(rs *runState) {
+	if rs.remaining == 0 {
+		return
+	}
+	ids := make([]core.TaskID, 0, rs.remaining)
+	for id := range rs.outstanding {
+		ids = append(ids, id)
+	}
+	log.Printf("engine: driver: stall detected, re-sending %d task(s)", len(ids))
+	d.resubmit(rs, ids)
+}
+
+// onWorkerFailure handles a dead worker: membership update, lineage-based
+// re-execution of lost work across micro-batches (in parallel), and state
+// restoration for moved terminal partitions (§3.3).
+func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
+	d.mu.Lock()
+	ws, ok := d.workers[dead]
+	if !ok || !ws.alive {
+		d.mu.Unlock()
+		return
+	}
+	ws.alive = false
+	delete(d.workers, dead)
+	d.epoch++
+	newP := core.NewPlacement(d.epoch, d.liveLocked())
+	d.placement = newP
+	d.mu.Unlock()
+
+	if fi, ok := d.net.(rpc.FailureInjector); ok {
+		// Ensure no in-flight sends target the dead node (real TCP would
+		// just fail; the in-memory transport needs the hint when the
+		// worker was stopped without a network-level failure).
+		fi.Fail(dead)
+	}
+	log.Printf("engine: driver: worker %s declared dead (epoch %d)", dead, newP.Epoch())
+	rs.stats.Failures++
+
+	oldP := rs.placement
+	rs.placement = newP
+	d.broadcast(d.membershipUpdate(newP))
+
+	if newP.NumWorkers() == 0 {
+		return // waitTasks will stall; nothing can run
+	}
+
+	resubmitSet := make(map[core.TaskID]bool)
+
+	// (a) Incomplete tasks that were assigned to the dead worker.
+	for id, w := range rs.outstanding {
+		if w == dead {
+			resubmitSet[id] = true
+		}
+	}
+
+	// (c) Terminal partitions owned by the dead worker: restore their
+	// state on the new owner and replay every batch since the snapshot.
+	groupEnd := rs.groupFirst + core.BatchID(rs.groupSize)
+	for si := range rs.planner.Job.Stages {
+		stage := &rs.planner.Job.Stages[si]
+		if !stage.IsTerminal() || stage.Window == nil {
+			continue
+		}
+		for p := 0; p < stage.NumPartitions; p++ {
+			if oldP.Assign(si, p) != dead {
+				continue
+			}
+			newOwner := newP.Assign(si, p)
+			key := checkpoint.StateKey{Job: rs.jobName, Stage: si, Partition: p}
+			restoredBatch := core.BatchID(-1)
+			msg := core.RestoreState{Job: rs.jobName, Stage: si, Partition: p, UpTo: -1}
+			if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+				restoredBatch = core.BatchID(snap.Batch)
+				msg.UpTo = core.BatchID(snap.Batch)
+				msg.State = snap.Encode()
+			}
+			_ = d.net.Send(d.id, newOwner, msg)
+			for b := restoredBatch + 1; b < groupEnd; b++ {
+				if b < 0 {
+					continue
+				}
+				resubmitSet[core.TaskID{Batch: b, Stage: si, Partition: p}] = true
+			}
+		}
+	}
+
+	// (b) Lost shuffle outputs: drop lineage entries held by the dead
+	// worker, then transitively re-run producers needed by any task in the
+	// resubmit set or still outstanding.
+	for dep, h := range rs.mapHolders {
+		if h == dead {
+			delete(rs.mapHolders, dep)
+		}
+	}
+	// Seed the frontier with the deps of everything that will (re)run.
+	frontier := make([]core.TaskID, 0, len(resubmitSet)+len(rs.outstanding))
+	for id := range resubmitSet {
+		frontier = append(frontier, id)
+	}
+	for id := range rs.outstanding {
+		if !resubmitSet[id] {
+			frontier = append(frontier, id)
+		}
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, dep := range rs.planner.DepsOf(id.Batch, id.Stage, id.Partition) {
+			if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
+				continue // surviving output, reusable via lineage
+			}
+			producer := core.TaskID{Batch: dep.Batch, Stage: dep.Stage, Partition: dep.MapPartition}
+			if resubmitSet[producer] {
+				continue
+			}
+			if _, running := rs.outstanding[producer]; running && rs.outstanding[producer] != dead {
+				continue // already in flight on a live worker
+			}
+			resubmitSet[producer] = true
+			frontier = append(frontier, producer)
+		}
+	}
+
+	if len(resubmitSet) == 0 {
+		return
+	}
+	ids := make([]core.TaskID, 0, len(resubmitSet))
+	for id := range resubmitSet {
+		ids = append(ids, id)
+	}
+	// Deterministic submission order aids debugging; execution order is
+	// up to the workers (parallel recovery across micro-batches).
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Batch != b.Batch {
+			return a.Batch < b.Batch
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Partition < b.Partition
+	})
+	rs.stats.Resubmits += len(ids)
+	d.resubmit(rs, ids)
+}
+
+// migrateState moves terminal-partition state when placement changes at a
+// group boundary (elasticity): checkpoint synchronously, then restore moved
+// partitions on their new owners.
+func (d *Driver) migrateState(rs *runState, oldP, newP core.Placement) {
+	upTo := rs.groupFirst + core.BatchID(rs.groupSize) - 1
+	if rs.groupSize == 0 {
+		upTo = -1
+	}
+	job := rs.planner.Job
+	var moved []checkpoint.StateKey
+	for si := range job.Stages {
+		stage := &job.Stages[si]
+		if !stage.IsTerminal() || stage.Window == nil {
+			continue
+		}
+		for p := 0; p < stage.NumPartitions; p++ {
+			if oldP.NumWorkers() > 0 && oldP.Assign(si, p) != newP.Assign(si, p) {
+				moved = append(moved, checkpoint.StateKey{Job: rs.jobName, Stage: si, Partition: p})
+			}
+		}
+	}
+	if len(moved) == 0 {
+		return
+	}
+	if upTo >= 0 {
+		// Ask the *previous* owners for fresh snapshots; they still hold
+		// the state (MembershipUpdate-triggered Retain runs on receipt,
+		// but TakeCheckpoint was sent first, and per-sender FIFO holds).
+		for _, w := range oldP.Workers() {
+			_ = d.net.Send(d.id, w, core.TakeCheckpoint{Job: rs.jobName, UpTo: upTo})
+		}
+		d.awaitCheckpoints(moved, upTo, 2*time.Second)
+		rs.ckptBatch = upTo
+	}
+	for _, key := range moved {
+		msg := core.RestoreState{Job: key.Job, Stage: key.Stage, Partition: key.Partition, UpTo: -1}
+		if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+			msg.UpTo = core.BatchID(snap.Batch)
+			msg.State = snap.Encode()
+		}
+		_ = d.net.Send(d.id, newP.Assign(key.Stage, key.Partition), msg)
+		// Replay anything after the snapshot.
+		var ids []core.TaskID
+		snapBatch := core.BatchID(-1)
+		if snap, ok, _ := d.ckpt.Latest(key); ok {
+			snapBatch = core.BatchID(snap.Batch)
+		}
+		for b := snapBatch + 1; b <= upTo; b++ {
+			if b >= 0 {
+				ids = append(ids, core.TaskID{Batch: b, Stage: key.Stage, Partition: key.Partition})
+			}
+		}
+		if len(ids) > 0 {
+			rs.placement = newP
+			d.resubmit(rs, ids)
+			_ = d.waitTasks(rs)
+		}
+	}
+}
+
+// awaitCheckpoints polls the checkpoint store until every key has a
+// snapshot at least as fresh as upTo, or the timeout elapses.
+func (d *Driver) awaitCheckpoints(keys []checkpoint.StateKey, upTo core.BatchID, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := true
+		for _, k := range keys {
+			snap, ok, err := d.ckpt.Latest(k)
+			if err != nil || !ok || core.BatchID(snap.Batch) < upTo {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Printf("engine: driver: checkpoint wait timed out; migration will replay more batches")
+}
+
+// alignedStart picks the job epoch: the next wall-clock instant aligned to
+// the job's largest window, so that when the micro-batch interval divides
+// the window, window boundaries coincide with batch boundaries — the
+// convention Spark Streaming imposes (windows must be multiples of the
+// batch interval) and the configuration that minimizes window-close
+// latency. Tasks are gated on batch close times, so the (sub-window) wait
+// before the first batch simply delays the start.
+func alignedStart(job *dag.Job) int64 {
+	now := time.Now().UnixNano()
+	var align int64
+	for i := range job.Stages {
+		if w := job.Stages[i].Window; w != nil && int64(w.Size) > align {
+			align = int64(w.Size)
+		}
+	}
+	if align <= 0 {
+		return now
+	}
+	return (now/align + 1) * align
+}
+
+func pruneHolders(holders map[core.Dep]rpc.NodeID, before core.BatchID) {
+	for dep := range holders {
+		if dep.Batch < before {
+			delete(holders, dep)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/rpc"
+)
+
+// threeStageJob chains two shuffles: source -> keyed partial counts ->
+// windowed count, exercising interior (non-source, non-terminal) stages.
+func threeStageJob(sink dag.SinkFunc) *dag.Job {
+	return &dag.Job{
+		Name:     "threestage",
+		Interval: 50 * time.Millisecond,
+		Stages: []dag.Stage{
+			{
+				ID:            0,
+				NumPartitions: 4,
+				Source:        countingSource(4, 2),
+				Shuffle:       &dag.ShuffleSpec{NumReducers: 4, Combine: true, CombineFunc: dag.Sum},
+			},
+			{
+				ID:            1,
+				NumPartitions: 4,
+				Parents:       []int{0},
+				Shuffle:       &dag.ShuffleSpec{NumReducers: 2, Combine: true, CombineFunc: dag.Sum},
+			},
+			{
+				ID:            2,
+				NumPartitions: 2,
+				Parents:       []int{1},
+				Reduce:        dag.Sum,
+				Window:        &dag.WindowSpec{Size: 200 * time.Millisecond},
+				Sink:          sink,
+			},
+		},
+	}
+}
+
+func TestThreeStagePipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupSize = 4
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	job := threeStageJob(sink.fn)
+	if err := tc.reg.Register("threestage", job); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tc.driver.Run("threestage", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the interior combine stages are count-preserving, so the
+	// final windows match the two-stage reference over the same source.
+	ref := windowCountJob("ref", 4, 2, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(4, 2), nil, false)
+	want := referenceWindows(ref, stats.StartNanos, 12)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("three-stage results diverge:\n%s", diff)
+	}
+}
+
+func TestThreeStagePipelineBSP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeBSP
+	tc := newTestCluster(t, 2, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	if err := tc.reg.Register("threestage", threeStageJob(sink.fn)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tc.driver.Run("threestage", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := windowCountJob("ref", 4, 2, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(4, 2), nil, false)
+	want := referenceWindows(ref, stats.StartNanos, 8)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("three-stage BSP results diverge:\n%s", diff)
+	}
+}
+
+// TestRunBackToBack reuses one cluster for sequential runs of different
+// jobs, ensuring run state does not leak between runs.
+func TestRunBackToBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupSize = 3
+	tc := newTestCluster(t, 2, cfg, rpc.InMemConfig{})
+	for _, name := range []string{"a", "b"} {
+		sink := newWindowSink()
+		job := windowCountJob(name, 4, 2, 50*time.Millisecond, 200*time.Millisecond,
+			countingSource(3, 2), sink.fn, name == "b")
+		if err := tc.reg.Register(name, job); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := tc.driver.Run(name, 8)
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		want := referenceWindows(job, stats.StartNanos, 8)
+		if diff := diffResults(want, sink.snapshot()); diff != "" {
+			t.Fatalf("run %s diverged:\n%s", name, diff)
+		}
+	}
+}
+
+// TestDriverStopMidRun verifies a stopped driver unblocks Run with an
+// error instead of hanging.
+func TestDriverStopMidRun(t *testing.T) {
+	cfg := DefaultConfig()
+	tc := newTestCluster(t, 2, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	job := windowCountJob("stop", 4, 2, 100*time.Millisecond, 400*time.Millisecond,
+		countingSource(3, 2), sink.fn, false)
+	if err := tc.reg.Register("stop", job); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tc.driver.Run("stop", 100) // 10s worth; we stop early
+		errCh <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	tc.driver.Stop()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Run returned nil after driver stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not unblock after driver stop")
+	}
+}
+
+// TestStructuredShuffleEngine runs a tree-structured aggregation directly
+// at the dag level (8 -> 2 with fan-in 4), checking per-partition blocks
+// and dependency narrowing end to end.
+func TestStructuredShuffleEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupSize = 2
+	tc := newTestCluster(t, 2, cfg, rpc.InMemConfig{})
+	var mu sync.Mutex
+	sums := map[int64]int64{}
+	job := &dag.Job{
+		Name:     "tree",
+		Interval: 50 * time.Millisecond,
+		Stages: []dag.Stage{
+			{
+				ID:            0,
+				NumPartitions: 8,
+				Source: func(b dag.BatchInfo) []data.Record {
+					return []data.Record{{Key: 1, Val: int64(b.Partition + 1), Time: b.Start}}
+				},
+				Shuffle: &dag.ShuffleSpec{
+					NumReducers: 2,
+					Combine:     true,
+					CombineFunc: dag.Sum,
+					Structure:   &dag.CommStructure{FanIn: 4},
+				},
+			},
+			{
+				ID:            1,
+				NumPartitions: 2,
+				Parents:       []int{0},
+				Reduce:        dag.Sum,
+				Sink: func(batch int64, partition int, out []data.Record) {
+					mu.Lock()
+					for _, r := range out {
+						sums[batch] += r.Val
+					}
+					mu.Unlock()
+				},
+			},
+		},
+	}
+	if err := tc.reg.Register("tree", job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.driver.Run("tree", 6); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Partitions contribute 1..8 => 36 per batch.
+	for b, sum := range sums {
+		if sum != 36 {
+			t.Fatalf("batch %d sum = %d, want 36", b, sum)
+		}
+	}
+	if len(sums) != 6 {
+		t.Fatalf("sums for %d batches, want 6", len(sums))
+	}
+}
+
+// TestStructuredShuffleRecovery kills a worker during a structured
+// (tree) aggregation and verifies the sums stay exact.
+func TestStructuredShuffleRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupSize = 4
+	cfg.CheckpointEvery = 1
+	cfg.FetchTimeout = 300 * time.Millisecond
+	cfg.HeartbeatInterval = 25 * time.Millisecond
+	cfg.HeartbeatTimeout = 200 * time.Millisecond
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{})
+	var mu sync.Mutex
+	sums := map[int64]int64{}
+	// Tree 8 -> 2 -> windowed count on 1 partition keeps state in play.
+	job := &dag.Job{
+		Name:     "treefail",
+		Interval: 50 * time.Millisecond,
+		Stages: []dag.Stage{
+			{
+				ID:            0,
+				NumPartitions: 8,
+				Source: func(b dag.BatchInfo) []data.Record {
+					return []data.Record{{Key: 1, Val: int64(b.Partition + 1), Time: b.Start}}
+				},
+				Shuffle: &dag.ShuffleSpec{
+					NumReducers: 2, Combine: true, CombineFunc: dag.Sum,
+					Structure: &dag.CommStructure{FanIn: 4},
+				},
+			},
+			{
+				ID: 1, NumPartitions: 2, Parents: []int{0},
+				Reduce: dag.Sum,
+				Window: &dag.WindowSpec{Size: 200 * time.Millisecond},
+				Sink: func(batch int64, partition int, out []data.Record) {
+					mu.Lock()
+					for _, r := range out {
+						sums[r.Time] += r.Val
+					}
+					mu.Unlock()
+				},
+			},
+		},
+	}
+	if err := tc.reg.Register("treefail", job); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(350 * time.Millisecond)
+		tc.kill("w1")
+	}()
+	stats, err := tc.driver.Run("treefail", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", stats.Failures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Each 200ms window covers 4 batches of 36.
+	for w, sum := range sums {
+		if sum != 144 {
+			t.Fatalf("window %d sum = %d, want 144", w, sum)
+		}
+	}
+	if len(sums) < 3 {
+		t.Fatalf("only %d windows emitted", len(sums))
+	}
+}
+
+// TestWorkerRejectsUnknownJob: a task for an unregistered job must fail
+// cleanly (status error), not crash the worker.
+func TestWorkerRejectsUnknownJob(t *testing.T) {
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
+	defer net.Close()
+	reg := NewRegistry()
+	cfg := DefaultConfig()
+	w := NewWorker("w0", "driver", net, reg, cfg)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	statuses := make(chan any, 16)
+	if err := net.Register("driver", func(_ rpc.NodeID, msg any) { statuses <- msg }); err != nil {
+		t.Fatal(err)
+	}
+	// Launch a task for a job never submitted.
+	net.Send("driver", "w0", core.LaunchTasks{Tasks: []core.TaskDescriptor{{
+		Job: "ghost",
+		ID:  core.TaskID{Batch: 0, Stage: 0, Partition: 0},
+	}}})
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case msg := <-statuses:
+			if st, ok := msg.(core.TaskStatus); ok {
+				if st.OK {
+					t.Fatal("task for unknown job succeeded")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no failure status received")
+		}
+	}
+}

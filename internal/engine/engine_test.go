@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/rpc"
+)
+
+// runWindowCount runs the standard windowed-count job on a fresh cluster
+// and checks the sink output against the sequential reference.
+func runWindowCount(t *testing.T, cfg Config, workers, batches int, combine bool) *RunStats {
+	t.Helper()
+	tc := newTestCluster(t, workers, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	job := windowCountJob("wc", 2*workers, workers, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(5, 3), sink.fn, combine)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tc.driver.Run("wc", batches)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if len(want) == 0 {
+		t.Fatal("reference produced no closed windows; test misconfigured")
+	}
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("window results diverge from reference:\n%s", diff)
+	}
+	return stats
+}
+
+func TestDrizzleEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 4
+	cfg.CheckpointEvery = 1
+	stats := runWindowCount(t, cfg, 4, 12, false)
+	if got := len(stats.Groups); got != 3 {
+		t.Fatalf("ran %d groups, want 3", got)
+	}
+}
+
+func TestDrizzleWithCombineEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 4
+	runWindowCount(t, cfg, 4, 12, true)
+}
+
+func TestPreSchedulingOnlyEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 1 // pre-scheduling without group scheduling
+	runWindowCount(t, cfg, 3, 8, false)
+}
+
+func TestBSPEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeBSP
+	runWindowCount(t, cfg, 3, 8, false)
+}
+
+func TestBSPWithCombineEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeBSP
+	runWindowCount(t, cfg, 3, 8, true)
+}
+
+func TestSingleWorkerCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 2
+	runWindowCount(t, cfg, 1, 6, false)
+}
+
+func TestAutoTuneEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 2
+	cfg.AutoTune = true
+	stats := runWindowCount(t, cfg, 3, 12, false)
+	if len(stats.TunerTrace) == 0 {
+		t.Fatal("auto-tune run recorded no tuner decisions")
+	}
+}
+
+// TestGroupSchedulingAmortizesCoordination checks the core claim of §3.1 at
+// unit scale: with emulated per-task serialization costs, coordination time
+// per micro-batch shrinks as the group grows.
+func TestGroupSchedulingAmortizesCoordination(t *testing.T) {
+	costs := CostModel{PerTaskSerialize: 200 * time.Microsecond, PerMessage: 500 * time.Microsecond}
+	run := func(mode Mode, group int) time.Duration {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.GroupSize = group
+		cfg.Costs = costs
+		stats := runWindowCount(t, cfg, 2, 8, false)
+		return stats.Coord / time.Duration(stats.Batches)
+	}
+	bsp := run(ModeBSP, 1)
+	drizzle := run(ModeDrizzle, 8)
+	if drizzle >= bsp {
+		t.Fatalf("group scheduling did not amortize coordination: drizzle %v/batch vs bsp %v/batch", drizzle, bsp)
+	}
+	t.Logf("coordination per micro-batch: bsp=%v drizzle(g=8)=%v", bsp, drizzle)
+}
+
+func TestRunErrors(t *testing.T) {
+	tc := newTestCluster(t, 1, DefaultConfig(), rpc.InMemConfig{})
+	if _, err := tc.driver.Run("nope", 3); err == nil {
+		t.Fatal("Run of unregistered job succeeded")
+	}
+	sink := newWindowSink()
+	job := windowCountJob("wc", 2, 1, 50*time.Millisecond, 100*time.Millisecond, countingSource(2, 1), sink.fn, false)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.driver.Run("wc", 0); err == nil {
+		t.Fatal("Run with zero batches succeeded")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
+	reg := NewRegistry()
+	sink := newWindowSink()
+	job := windowCountJob("a", 2, 1, 50*time.Millisecond, 100*time.Millisecond, countingSource(2, 1), sink.fn, false)
+	if err := reg.Register("a", job); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("a", job); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	bad := windowCountJob("b", 2, 1, 0, 100*time.Millisecond, countingSource(2, 1), sink.fn, false)
+	if err := reg.Register("b", bad); err == nil {
+		t.Fatal("invalid job registered")
+	}
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/rpc"
+)
+
+// testCluster is an in-process driver + N workers over an in-memory network.
+type testCluster struct {
+	net     *rpc.InMemNetwork
+	reg     *Registry
+	driver  *Driver
+	workers map[rpc.NodeID]*Worker
+}
+
+func newTestCluster(t *testing.T, n int, cfg Config, netCfg rpc.InMemConfig) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		net:     rpc.NewInMemNetwork(netCfg),
+		reg:     NewRegistry(),
+		workers: make(map[rpc.NodeID]*Worker),
+	}
+	tc.driver = NewDriver("driver", tc.net, tc.reg, cfg, nil)
+	if err := tc.driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := rpc.NodeID(fmt.Sprintf("w%d", i))
+		w := NewWorker(id, "driver", tc.net, tc.reg, cfg)
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		tc.workers[id] = w
+		tc.driver.AddWorker(id)
+	}
+	t.Cleanup(func() {
+		tc.driver.Stop()
+		for _, w := range tc.workers {
+			w.Stop()
+		}
+		tc.net.Close()
+	})
+	return tc
+}
+
+// addWorker starts a new worker and registers it with the driver (joins at
+// the next group boundary).
+func (tc *testCluster) addWorker(t *testing.T, id rpc.NodeID) {
+	t.Helper()
+	w := NewWorker(id, "driver", tc.net, tc.reg, tc.driver.cfg)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tc.workers[id] = w
+	tc.driver.AddWorker(id)
+}
+
+// kill simulates a machine death: the network drops all its traffic and the
+// worker process stops.
+func (tc *testCluster) kill(id rpc.NodeID) {
+	tc.net.Fail(id)
+	if w, ok := tc.workers[id]; ok {
+		go w.Stop()
+	}
+}
+
+// windowSink collects windowed results keyed by (window, key), overwriting
+// duplicates — the idempotent-sink contract recovery relies on.
+type windowSink struct {
+	mu      sync.Mutex
+	results map[[2]int64]int64
+	emitted int
+}
+
+func newWindowSink() *windowSink {
+	return &windowSink{results: make(map[[2]int64]int64)}
+}
+
+func (ws *windowSink) fn(batch int64, partition int, out []data.Record) {
+	ws.mu.Lock()
+	for _, r := range out {
+		ws.results[[2]int64{r.Time, int64(r.Key)}] = r.Val
+		ws.emitted++
+	}
+	ws.mu.Unlock()
+}
+
+func (ws *windowSink) snapshot() map[[2]int64]int64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make(map[[2]int64]int64, len(ws.results))
+	for k, v := range ws.results {
+		out[k] = v
+	}
+	return out
+}
+
+// countingSource generates, for each (batch, partition), keys 0..numKeys-1
+// repeated `repeats` times with event times spread across the batch
+// interval. Deterministic, so recovery replays identically.
+func countingSource(numKeys, repeats int) dag.SourceFunc {
+	return func(b dag.BatchInfo) []data.Record {
+		n := numKeys * repeats
+		recs := make([]data.Record, 0, n)
+		span := b.End - b.Start
+		for i := 0; i < n; i++ {
+			// Spread event times uniformly inside [Start, End).
+			at := b.Start + int64(i)*span/int64(n)
+			recs = append(recs, data.Record{Key: uint64(i % numKeys), Val: 1, Time: at})
+		}
+		return recs
+	}
+}
+
+// windowCountJob builds the standard two-stage test job: source -> shuffle
+// -> windowed count, with the given parallelism.
+func windowCountJob(name string, mapParts, reduceParts int, interval, window time.Duration, src dag.SourceFunc, sink dag.SinkFunc, combine bool) *dag.Job {
+	shuffleSpec := &dag.ShuffleSpec{NumReducers: reduceParts}
+	if combine {
+		shuffleSpec.Combine = true
+		shuffleSpec.CombineFunc = dag.Sum
+	}
+	return &dag.Job{
+		Name:     name,
+		Interval: interval,
+		Stages: []dag.Stage{
+			{
+				ID:            0,
+				NumPartitions: mapParts,
+				Source:        src,
+				Shuffle:       shuffleSpec,
+			},
+			{
+				ID:            1,
+				NumPartitions: reduceParts,
+				Parents:       []int{0},
+				Reduce:        dag.Sum,
+				Window:        &dag.WindowSpec{Size: window},
+				Sink:          sink,
+			},
+		},
+	}
+}
+
+// referenceWindows computes the expected (window, key) -> count map by
+// running the source sequentially through a reference implementation,
+// keeping only windows that close by the last batch.
+func referenceWindows(job *dag.Job, startNanos int64, numBatches int) map[[2]int64]int64 {
+	src := job.Stages[0].Source
+	win := *job.Stages[1].Window
+	interval := int64(job.Interval)
+	counts := make(map[[2]int64]int64)
+	for b := 0; b < numBatches; b++ {
+		for p := 0; p < job.Stages[0].NumPartitions; p++ {
+			info := dag.BatchInfo{
+				Batch:     int64(b),
+				Partition: p,
+				Start:     startNanos + int64(b)*interval,
+				End:       startNanos + int64(b+1)*interval,
+			}
+			for _, r := range job.Stages[0].ApplyOps(src(info)) {
+				w := win.Assign(r.Time)
+				counts[[2]int64{w, int64(r.Key)}] += r.Val
+			}
+		}
+	}
+	lastClose := startNanos + int64(numBatches)*interval
+	for k := range counts {
+		if k[0]+int64(win.Size) > lastClose {
+			delete(counts, k) // window still open at end of run
+		}
+	}
+	return counts
+}
+
+// diffResults returns a description of the first few mismatches between
+// want and got, or "" if equal.
+func diffResults(want, got map[[2]int64]int64) string {
+	var diffs []string
+	for k, wv := range want {
+		if gv, ok := got[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("missing window=%d key=%d (want %d)", k[0], k[1], wv))
+		} else if gv != wv {
+			diffs = append(diffs, fmt.Sprintf("window=%d key=%d: got %d want %d", k[0], k[1], gv, wv))
+		}
+	}
+	for k, gv := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("unexpected window=%d key=%d (got %d)", k[0], k[1], gv))
+		}
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	if len(diffs) > 8 {
+		diffs = append(diffs[:8], fmt.Sprintf("... and %d more", len(diffs)-8))
+	}
+	out := ""
+	for _, d := range diffs {
+		out += d + "\n"
+	}
+	return out
+}

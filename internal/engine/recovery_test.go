@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/rpc"
+)
+
+// TestDrizzleRecoversFromWorkerFailure kills a worker mid-run and verifies
+// that (a) the run completes, (b) the final windowed counts are byte-for-
+// byte identical to the no-failure reference — the exactly-once effect the
+// paper claims for parallel recovery with lineage reuse (§3.3).
+func TestDrizzleRecoversFromWorkerFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 5
+	cfg.CheckpointEvery = 1
+	cfg.FetchTimeout = 300 * time.Millisecond
+	cfg.HeartbeatInterval = 25 * time.Millisecond
+	cfg.HeartbeatTimeout = 200 * time.Millisecond
+	cfg.StallResend = 2 * time.Second
+
+	tc := newTestCluster(t, 4, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	const batches = 20
+	job := windowCountJob("wc", 8, 4, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(6, 2), sink.fn, false)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one worker roughly mid-run (the run spans ~1s of batch time).
+	go func() {
+		time.Sleep(450 * time.Millisecond)
+		tc.kill("w2")
+	}()
+
+	stats, err := tc.driver.Run("wc", batches)
+	if err != nil {
+		t.Fatalf("Run with failure: %v", err)
+	}
+	if stats.Failures != 1 {
+		t.Fatalf("driver handled %d failures, want 1", stats.Failures)
+	}
+	if stats.Resubmits == 0 {
+		t.Fatal("recovery resubmitted no tasks")
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("post-failure results diverge from reference:\n%s", diff)
+	}
+	t.Logf("failure recovery: %d resubmits, coord=%v exec=%v", stats.Resubmits, stats.Coord, stats.Exec)
+}
+
+// TestBSPRecoversFromWorkerFailure exercises the same scenario under
+// per-stage BSP scheduling.
+func TestBSPRecoversFromWorkerFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeBSP
+	cfg.CheckpointEvery = 2
+	cfg.FetchTimeout = 300 * time.Millisecond
+	cfg.HeartbeatInterval = 25 * time.Millisecond
+	cfg.HeartbeatTimeout = 200 * time.Millisecond
+	cfg.StallResend = 2 * time.Second
+
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	const batches = 14
+	job := windowCountJob("wc", 6, 3, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(4, 2), sink.fn, false)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		tc.kill("w1")
+	}()
+	stats, err := tc.driver.Run("wc", batches)
+	if err != nil {
+		t.Fatalf("Run with failure: %v", err)
+	}
+	if stats.Failures != 1 {
+		t.Fatalf("driver handled %d failures, want 1", stats.Failures)
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("post-failure results diverge from reference:\n%s", diff)
+	}
+}
+
+// TestElasticityAddWorker grows the cluster mid-run; the new worker joins
+// at a group boundary and results stay correct.
+func TestElasticityAddWorker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 4
+	cfg.CheckpointEvery = 1
+
+	tc := newTestCluster(t, 2, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	const batches = 16
+	job := windowCountJob("wc", 6, 3, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(5, 2), sink.fn, false)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		tc.addWorker(t, "w-new")
+	}()
+	stats, err := tc.driver.Run("wc", batches)
+	if err != nil {
+		t.Fatalf("Run with scale-up: %v", err)
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("post-scale-up results diverge from reference:\n%s", diff)
+	}
+	if got := len(tc.driver.LiveWorkers()); got != 3 {
+		t.Fatalf("cluster has %d workers, want 3", got)
+	}
+}
+
+// TestElasticityRemoveWorker gracefully decommissions a worker mid-run.
+func TestElasticityRemoveWorker(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 4
+	cfg.CheckpointEvery = 1
+
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{})
+	sink := newWindowSink()
+	const batches = 16
+	job := windowCountJob("wc", 6, 3, 50*time.Millisecond, 200*time.Millisecond,
+		countingSource(5, 2), sink.fn, false)
+	if err := tc.reg.Register("wc", job); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		tc.driver.RemoveWorker("w0")
+	}()
+	stats, err := tc.driver.Run("wc", batches)
+	if err != nil {
+		t.Fatalf("Run with scale-down: %v", err)
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Fatalf("post-scale-down results diverge from reference:\n%s", diff)
+	}
+	if got := len(tc.driver.LiveWorkers()); got != 2 {
+		t.Fatalf("cluster has %d workers, want 2", got)
+	}
+}

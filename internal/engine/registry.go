@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"drizzle/internal/dag"
+)
+
+// Registry maps job names to logical plans. Plans contain Go closures, so
+// they cannot travel over TCP the way the real system ships serialized JVM
+// closures; instead every node registers the same plans by name at startup
+// and the SubmitJob message carries only the name (see DESIGN.md,
+// substitutions). In-process clusters share one Registry.
+type Registry struct {
+	mu   sync.RWMutex
+	jobs map[string]*dag.Job
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{jobs: make(map[string]*dag.Job)}
+}
+
+// Register validates and installs a plan under name. Re-registering a name
+// is an error: plans are immutable once announced.
+func (r *Registry) Register(name string, job *dag.Job) error {
+	if err := job.Validate(); err != nil {
+		return fmt.Errorf("engine: register %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[name]; ok {
+		return fmt.Errorf("engine: job %q already registered", name)
+	}
+	r.jobs[name] = job
+	return nil
+}
+
+// Lookup returns the plan registered under name.
+func (r *Registry) Lookup(name string) (*dag.Job, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	j, ok := r.jobs[name]
+	return j, ok
+}

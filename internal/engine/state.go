@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"sync"
+
+	"drizzle/internal/checkpoint"
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// StateStore holds a worker's terminal-stage window state, one partition
+// per (job, stage, partition). Partitions are independent and individually
+// locked: with group scheduling, reduce tasks of *different* micro-batches
+// for the same partition can run concurrently on different executor slots,
+// and the store serializes their state updates.
+//
+// Window results are emitted using a contiguous-batch watermark: a window
+// is final only once every micro-batch up to the one covering the window's
+// end has been applied, regardless of the order tasks completed in. That is
+// what makes out-of-order execution inside a group — and parallel replay
+// across micro-batches during recovery (§3.3) — safe for windowed
+// aggregation.
+type StateStore struct {
+	mu    sync.Mutex
+	parts map[checkpoint.StateKey]*statePartition
+}
+
+type statePartition struct {
+	mu             sync.Mutex
+	windows        map[int64]map[uint64]int64
+	applied        map[core.BatchID]bool
+	appliedThrough core.BatchID
+	emittedThrough int64
+}
+
+// NewStateStore returns an empty store.
+func NewStateStore() *StateStore {
+	return &StateStore{parts: make(map[checkpoint.StateKey]*statePartition)}
+}
+
+func (s *StateStore) partition(key checkpoint.StateKey) *statePartition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[key]
+	if !ok {
+		p = &statePartition{
+			windows:        make(map[int64]map[uint64]int64),
+			applied:        make(map[core.BatchID]bool),
+			appliedThrough: -1,
+			emittedThrough: 0,
+		}
+		s.parts[key] = p
+	}
+	return p
+}
+
+// ApplyBatch folds one micro-batch of records into the partition's window
+// state and returns the window results that became final, plus whether the
+// batch was a duplicate (already applied — replay or a re-executed task).
+// closeNanos maps a batch ID to its wall-clock close time.
+func (s *StateStore) ApplyBatch(
+	key checkpoint.StateKey,
+	batch core.BatchID,
+	recs []data.Record,
+	reduce dag.ReduceFunc,
+	window dag.WindowSpec,
+	closeNanos func(core.BatchID) int64,
+) (emitted []data.Record, dup bool) {
+	p := s.partition(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.applied[batch] || batch <= p.appliedThrough {
+		return nil, true
+	}
+	for i := range recs {
+		w := window.Assign(recs[i].Time)
+		kv, ok := p.windows[w]
+		if !ok {
+			kv = make(map[uint64]int64)
+			p.windows[w] = kv
+		}
+		if v, ok := kv[recs[i].Key]; ok {
+			kv[recs[i].Key] = reduce(v, recs[i].Val)
+		} else {
+			kv[recs[i].Key] = recs[i].Val
+		}
+	}
+	p.applied[batch] = true
+	for p.applied[p.appliedThrough+1] {
+		delete(p.applied, p.appliedThrough+1)
+		p.appliedThrough++
+	}
+	if p.appliedThrough < batch {
+		return nil, false // a gap remains; nothing can be emitted yet
+	}
+	watermark := closeNanos(p.appliedThrough)
+	size := int64(window.Size)
+	for w, kv := range p.windows {
+		end := w + size
+		if end <= watermark && end > p.emittedThrough {
+			for k, v := range kv {
+				emitted = append(emitted, data.Record{Key: k, Val: v, Time: w})
+			}
+			delete(p.windows, w)
+		}
+	}
+	if watermark > p.emittedThrough {
+		p.emittedThrough = watermark
+	}
+	return emitted, false
+}
+
+// Snapshot captures the partition's state if it has applied every batch up
+// to and including upTo. It returns ok=false when the partition lags (the
+// driver checkpoints at group barriers, so lag means the request is stale).
+func (s *StateStore) Snapshot(key checkpoint.StateKey, upTo core.BatchID) (*checkpoint.Snapshot, bool) {
+	s.mu.Lock()
+	p, exists := s.parts[key]
+	s.mu.Unlock()
+	if !exists {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.appliedThrough < upTo {
+		return nil, false
+	}
+	snap := &checkpoint.Snapshot{
+		Key:            key,
+		Batch:          int64(p.appliedThrough),
+		EmittedThrough: p.emittedThrough,
+		Windows:        make(map[int64]map[uint64]int64, len(p.windows)),
+	}
+	for w, kv := range p.windows {
+		m := make(map[uint64]int64, len(kv))
+		for k, v := range kv {
+			m[k] = v
+		}
+		snap.Windows[w] = m
+	}
+	return snap, true
+}
+
+// Restore replaces the partition's state with a snapshot; batches after
+// snap.Batch will be replayed on top of it.
+func (s *StateStore) Restore(snap *checkpoint.Snapshot) {
+	p := s.partition(snap.Key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := snap.Clone()
+	p.windows = c.Windows
+	p.applied = make(map[core.BatchID]bool)
+	p.appliedThrough = core.BatchID(snap.Batch)
+	p.emittedThrough = snap.EmittedThrough
+}
+
+// Keys lists the state partitions currently held, for checkpointing.
+func (s *StateStore) Keys() []checkpoint.StateKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]checkpoint.StateKey, 0, len(s.parts))
+	for k := range s.parts {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Retain drops partitions the predicate rejects, used when placement moves
+// a partition away from this worker.
+func (s *StateStore) Retain(keep func(checkpoint.StateKey) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.parts {
+		if !keep(k) {
+			delete(s.parts, k)
+		}
+	}
+}
+
+// AppliedThrough reports the partition's contiguous-batch watermark, or -1
+// if the partition does not exist.
+func (s *StateStore) AppliedThrough(key checkpoint.StateKey) core.BatchID {
+	s.mu.Lock()
+	p, ok := s.parts[key]
+	s.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appliedThrough
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/checkpoint"
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+var testKey = checkpoint.StateKey{Job: "j", Stage: 1, Partition: 0}
+
+// testClose maps batch b to close time (b+1)*100ms from epoch 0.
+func testClose(b core.BatchID) int64 {
+	return int64(b+1) * int64(100*time.Millisecond)
+}
+
+func rec(key uint64, val int64, atMillis int64) data.Record {
+	return data.Record{Key: key, Val: val, Time: atMillis * int64(time.Millisecond)}
+}
+
+func TestStateStoreEmitsClosedWindows(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 200 * time.Millisecond}
+	// Batch 0 covers [0,100ms), batch 1 covers [100,200ms): window [0,200ms)
+	// closes when batch 1 is applied.
+	if emitted, dup := s.ApplyBatch(testKey, 0, []data.Record{rec(1, 1, 10)}, dag.Sum, win, testClose); dup || len(emitted) != 0 {
+		t.Fatalf("batch 0: emitted=%v dup=%v", emitted, dup)
+	}
+	emitted, dup := s.ApplyBatch(testKey, 1, []data.Record{rec(1, 2, 110)}, dag.Sum, win, testClose)
+	if dup {
+		t.Fatal("batch 1 flagged duplicate")
+	}
+	if len(emitted) != 1 || emitted[0].Key != 1 || emitted[0].Val != 3 || emitted[0].Time != 0 {
+		t.Fatalf("window emission wrong: %v", emitted)
+	}
+}
+
+func TestStateStoreOutOfOrderBatches(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 200 * time.Millisecond}
+	// Batch 1 applied before batch 0: nothing may be emitted at the gap.
+	if emitted, _ := s.ApplyBatch(testKey, 1, []data.Record{rec(1, 2, 110)}, dag.Sum, win, testClose); len(emitted) != 0 {
+		t.Fatalf("emitted across a gap: %v", emitted)
+	}
+	emitted, _ := s.ApplyBatch(testKey, 0, []data.Record{rec(1, 1, 10)}, dag.Sum, win, testClose)
+	if len(emitted) != 1 || emitted[0].Val != 3 {
+		t.Fatalf("out-of-order emission wrong: %v", emitted)
+	}
+}
+
+func TestStateStoreDuplicateBatch(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 100 * time.Millisecond}
+	s.ApplyBatch(testKey, 0, []data.Record{rec(1, 1, 10)}, dag.Sum, win, testClose)
+	if _, dup := s.ApplyBatch(testKey, 0, []data.Record{rec(1, 1, 10)}, dag.Sum, win, testClose); !dup {
+		t.Fatal("re-applied batch not flagged duplicate")
+	}
+	// A batch at or below appliedThrough is also a duplicate.
+	if _, dup := s.ApplyBatch(testKey, -1, nil, dag.Sum, win, testClose); !dup {
+		t.Fatal("ancient batch not flagged duplicate")
+	}
+}
+
+func TestStateStoreNoDoubleEmission(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 100 * time.Millisecond}
+	em0, _ := s.ApplyBatch(testKey, 0, []data.Record{rec(1, 5, 10)}, dag.Sum, win, testClose)
+	if len(em0) != 1 {
+		t.Fatalf("window not emitted at batch 0: %v", em0)
+	}
+	// Later batches must not re-emit the closed window.
+	em1, _ := s.ApplyBatch(testKey, 1, []data.Record{rec(2, 1, 110)}, dag.Sum, win, testClose)
+	for _, r := range em1 {
+		if r.Time == 0 {
+			t.Fatalf("window 0 emitted twice: %v", em1)
+		}
+	}
+}
+
+func TestStateStoreSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 300 * time.Millisecond}
+	s.ApplyBatch(testKey, 0, []data.Record{rec(1, 1, 10)}, dag.Sum, win, testClose)
+	s.ApplyBatch(testKey, 1, []data.Record{rec(1, 1, 110)}, dag.Sum, win, testClose)
+
+	snap, ok := s.Snapshot(testKey, 1)
+	if !ok {
+		t.Fatal("Snapshot not ready despite contiguous batches")
+	}
+	if snap.Batch != 1 {
+		t.Fatalf("snapshot batch = %d, want 1", snap.Batch)
+	}
+	if _, ok := s.Snapshot(testKey, 5); ok {
+		t.Fatal("Snapshot claimed readiness beyond applied batches")
+	}
+
+	// Restore into a fresh store and replay batch 2: counts must match a
+	// store that saw all three batches.
+	s2 := NewStateStore()
+	s2.Restore(snap)
+	em2, _ := s2.ApplyBatch(testKey, 2, []data.Record{rec(1, 1, 210)}, dag.Sum, win, testClose)
+	if len(em2) != 1 || em2[0].Val != 3 {
+		t.Fatalf("post-restore emission = %v, want val 3", em2)
+	}
+	// Replaying an old batch after restore is a duplicate.
+	if _, dup := s2.ApplyBatch(testKey, 1, nil, dag.Sum, win, testClose); !dup {
+		t.Fatal("restored store re-applied an old batch")
+	}
+}
+
+func TestStateStoreRetainAndKeys(t *testing.T) {
+	s := NewStateStore()
+	win := dag.WindowSpec{Size: 100 * time.Millisecond}
+	k2 := checkpoint.StateKey{Job: "j", Stage: 1, Partition: 1}
+	s.ApplyBatch(testKey, 0, nil, dag.Sum, win, testClose)
+	s.ApplyBatch(k2, 0, nil, dag.Sum, win, testClose)
+	if len(s.Keys()) != 2 {
+		t.Fatalf("Keys = %v", s.Keys())
+	}
+	s.Retain(func(k checkpoint.StateKey) bool { return k.Partition == 0 })
+	if len(s.Keys()) != 1 || s.Keys()[0] != testKey {
+		t.Fatalf("Retain kept %v", s.Keys())
+	}
+	if s.AppliedThrough(k2) != -1 {
+		t.Fatal("dropped partition still reports progress")
+	}
+	if s.AppliedThrough(testKey) != 0 {
+		t.Fatalf("AppliedThrough = %d, want 0", s.AppliedThrough(testKey))
+	}
+}

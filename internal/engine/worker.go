@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"drizzle/internal/checkpoint"
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/rpc"
+	"drizzle/internal/shuffle"
+)
+
+// Worker is one executor node: it runs tasks in a fixed number of slots,
+// serves its shuffle blocks to peers, holds terminal-stage window state,
+// and hosts the local scheduler that makes pre-scheduling work.
+type Worker struct {
+	id     rpc.NodeID
+	driver rpc.NodeID
+	net    rpc.Network
+	cfg    Config
+	reg    *Registry
+
+	ls      *core.LocalScheduler
+	store   *shuffle.Store
+	service *shuffle.Service
+	fetcher *shuffle.Fetcher
+	states  *StateStore
+
+	mu        sync.Mutex
+	jobs      map[string]*jobInfo
+	placement core.Placement
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type jobInfo struct {
+	name       string // registry name, used in messages and state keys
+	job        *dag.Job
+	startNanos int64
+}
+
+// closeNanos maps a batch to its wall-clock close time.
+func (ji *jobInfo) closeNanos(b core.BatchID) int64 {
+	return ji.startNanos + int64(b+1)*int64(ji.job.Interval)
+}
+
+// NewWorker constructs a worker; call Start to attach it to the network.
+func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{
+		id:     id,
+		driver: driver,
+		net:    net,
+		cfg:    cfg,
+		reg:    reg,
+		ls:     core.NewLocalScheduler(0),
+		store:  shuffle.NewStore(),
+		states: NewStateStore(),
+		jobs:   make(map[string]*jobInfo),
+		stop:   make(chan struct{}),
+	}
+	send := func(to rpc.NodeID, msg any) error { return net.Send(id, to, msg) }
+	w.service = shuffle.NewService(w.store, send)
+	w.fetcher = shuffle.NewFetcher(id, send)
+	return w
+}
+
+// ID returns the worker's node id.
+func (w *Worker) ID() rpc.NodeID { return w.id }
+
+// Start registers the worker on the network and launches its executor
+// slots and heartbeat loop.
+func (w *Worker) Start() error {
+	if err := w.net.Register(w.id, w.handle); err != nil {
+		return fmt.Errorf("engine: worker %s: %w", w.id, err)
+	}
+	for i := 0; i < w.cfg.SlotsPerWorker; i++ {
+		w.wg.Add(1)
+		go w.slotLoop()
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return nil
+}
+
+// Stop halts the worker. It does not unregister from the network so that
+// failure injection (net.Fail) keeps behaving like a machine death.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.ls.Close()
+	})
+	w.wg.Wait()
+}
+
+func (w *Worker) send(to rpc.NodeID, msg any) {
+	// Send errors mean the peer is unknown or failed; the driver's failure
+	// handling owns that situation, so the worker just drops the message.
+	_ = w.net.Send(w.id, to, msg)
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			w.send(w.driver, core.Heartbeat{Worker: w.id, Nanos: now.UnixNano()})
+		}
+	}
+}
+
+// handle dispatches incoming control and data messages. It runs on the
+// transport's delivery goroutine; anything slow is handed to slots.
+func (w *Worker) handle(from rpc.NodeID, msg any) {
+	switch m := msg.(type) {
+	case core.SubmitJob:
+		w.onSubmitJob(m)
+	case core.MembershipUpdate:
+		w.onMembership(m)
+	case core.LaunchTasks:
+		if m.PurgeBefore > 0 {
+			w.store.PurgeBefore(int64(m.PurgeBefore))
+			w.ls.Purge(m.PurgeBefore)
+		}
+		for _, desc := range m.Tasks {
+			w.ls.Add(desc)
+		}
+	case core.CancelTasks:
+		w.ls.Cancel(m.IDs)
+	case core.DataReady:
+		w.ls.OnDataReady(m.Dep, m.Holder)
+	case shuffle.FetchRequest:
+		w.service.HandleRequest(m)
+	case shuffle.FetchResponse:
+		w.fetcher.HandleResponse(m)
+	case core.TakeCheckpoint:
+		w.onTakeCheckpoint(m)
+	case core.RestoreState:
+		w.onRestoreState(m)
+	default:
+		log.Printf("engine: worker %s: unexpected message %T from %s", w.id, msg, from)
+	}
+}
+
+func (w *Worker) onSubmitJob(m core.SubmitJob) {
+	job, ok := w.reg.Lookup(m.Job)
+	if !ok {
+		log.Printf("engine: worker %s: unknown job %q", w.id, m.Job)
+		return
+	}
+	w.mu.Lock()
+	prev := w.jobs[m.Job]
+	w.jobs[m.Job] = &jobInfo{name: m.Job, job: job, startNanos: m.StartNanos}
+	w.mu.Unlock()
+	if prev != nil && prev.startNanos != m.StartNanos {
+		// A new run of the job: its batch numbering restarts at zero, so
+		// every remnant of the previous run must go.
+		w.store.PurgeJob(m.Job)
+		w.ls.PurgeJob(m.Job)
+		w.states.Retain(func(k checkpoint.StateKey) bool { return k.Job != m.Job })
+	}
+}
+
+func (w *Worker) onMembership(m core.MembershipUpdate) {
+	if a, ok := w.net.(rpc.Announcer); ok {
+		for id, addr := range m.Addrs {
+			if id != w.id {
+				a.Announce(id, addr)
+			}
+		}
+	}
+	p := core.NewPlacement(m.Epoch, m.Workers)
+	w.mu.Lock()
+	if p.Epoch() < w.placement.Epoch() {
+		w.mu.Unlock()
+		return // stale update
+	}
+	w.placement = p
+	jobs := w.jobs
+	w.mu.Unlock()
+
+	// Dependency locations pointing at dead workers are now unreachable;
+	// put the affected tasks back to waiting (the driver re-runs the lost
+	// map tasks).
+	w.ls.InvalidateHolders(p.Contains)
+
+	// Drop state partitions this worker no longer owns so stale state is
+	// never checkpointed over the new owner's.
+	w.states.Retain(func(k checkpoint.StateKey) bool {
+		if _, ok := jobs[k.Job]; !ok {
+			return true
+		}
+		return p.Assign(k.Stage, k.Partition) == w.id
+	})
+}
+
+func (w *Worker) onTakeCheckpoint(m core.TakeCheckpoint) {
+	for _, key := range w.states.Keys() {
+		if key.Job != m.Job {
+			continue
+		}
+		snap, ok := w.states.Snapshot(key, m.UpTo)
+		if !ok {
+			continue // partition lags; driver's replay covers it
+		}
+		w.send(w.driver, core.CheckpointData{
+			Job:       key.Job,
+			Stage:     key.Stage,
+			Partition: key.Partition,
+			UpTo:      core.BatchID(snap.Batch),
+			State:     snap.Encode(),
+		})
+	}
+}
+
+func (w *Worker) onRestoreState(m core.RestoreState) {
+	key := checkpoint.StateKey{Job: m.Job, Stage: m.Stage, Partition: m.Partition}
+	var snap *checkpoint.Snapshot
+	if len(m.State) > 0 {
+		var err error
+		snap, err = checkpoint.DecodeSnapshot(key, m.State)
+		if err != nil {
+			log.Printf("engine: worker %s: corrupt restore for %v: %v", w.id, key, err)
+			return
+		}
+	} else {
+		// No checkpoint existed yet: start the partition fresh from the
+		// given batch watermark.
+		snap = &checkpoint.Snapshot{Key: key, Batch: int64(m.UpTo), Windows: map[int64]map[uint64]int64{}}
+	}
+	w.states.Restore(snap)
+}
+
+func (w *Worker) slotLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case rt := <-w.ls.Runnable():
+			w.runTask(rt)
+		}
+	}
+}
+
+// runTask executes one task end to end and reports status to the driver.
+func (w *Worker) runTask(rt core.RunnableTask) {
+	queued := time.Since(rt.ReadyAt)
+	start := time.Now()
+	sizes, err := w.execute(rt)
+	status := core.TaskStatus{
+		ID:          rt.Desc.ID,
+		Worker:      w.id,
+		OK:          err == nil,
+		OutputSizes: sizes,
+		RunNanos:    int64(time.Since(start)),
+		QueueNanos:  int64(queued),
+	}
+	if err != nil {
+		status.Err = err.Error()
+	}
+	w.send(w.driver, status)
+}
+
+func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {
+	w.mu.Lock()
+	ji := w.jobs[rt.Desc.Job]
+	placement := w.placement
+	w.mu.Unlock()
+	if ji == nil {
+		return nil, fmt.Errorf("engine: job %q not submitted to %s", rt.Desc.Job, w.id)
+	}
+	id := rt.Desc.ID
+	if id.Stage < 0 || id.Stage >= len(ji.job.Stages) {
+		return nil, fmt.Errorf("engine: task %v references stage out of range", id)
+	}
+	stage := &ji.job.Stages[id.Stage]
+
+	var recs []data.Record
+	if stage.IsSource() {
+		recs = stage.Source(dag.BatchInfo{
+			Batch:     int64(id.Batch),
+			Partition: id.Partition,
+			Start:     ji.closeNanos(id.Batch - 1),
+			End:       ji.closeNanos(id.Batch),
+		})
+	} else {
+		var err error
+		recs, err = w.gatherInputs(rt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	recs = stage.ApplyOps(recs)
+
+	if stage.Shuffle != nil {
+		return w.writeShuffleOutput(ji, stage, id, recs, rt.Desc.NotifyDownstream, placement)
+	}
+	w.runTerminal(ji, stage, id, recs)
+	return nil, nil
+}
+
+// gatherInputs fetches and decodes every dependency block, reading local
+// blocks directly and batching remote reads per holder.
+func (w *Worker) gatherInputs(rt core.RunnableTask) ([]data.Record, error) {
+	id := rt.Desc.ID
+	byHolder := make(map[rpc.NodeID][]shuffle.BlockID)
+	for _, d := range rt.Desc.Deps {
+		holder, ok := rt.Locations[d]
+		if !ok {
+			return nil, fmt.Errorf("engine: task %v activated without location for %+v", id, d)
+		}
+		blk := shuffle.BlockID{
+			Job:             d.Job,
+			Batch:           int64(d.Batch),
+			Stage:           d.Stage,
+			MapPartition:    d.MapPartition,
+			ReducePartition: id.Partition,
+		}
+		byHolder[holder] = append(byHolder[holder], blk)
+	}
+	var recs []data.Record
+	for holder, blocks := range byHolder {
+		if holder == w.id {
+			for _, blk := range blocks {
+				rs, ok, err := w.store.Get(blk)
+				if err != nil {
+					return nil, fmt.Errorf("engine: task %v: local block %+v: %w", id, blk, err)
+				}
+				if !ok {
+					return nil, fmt.Errorf("engine: task %v: local block %+v missing", id, blk)
+				}
+				recs = append(recs, rs...)
+			}
+			continue
+		}
+		fetched, err := w.fetcher.Fetch(holder, blocks, w.cfg.FetchTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("engine: task %v: %w", id, err)
+		}
+		for _, b := range fetched {
+			rs, _, err := data.DecodeBatch(b.Data)
+			if err != nil {
+				return nil, fmt.Errorf("engine: task %v: decode %+v: %w", id, b.ID, err)
+			}
+			recs = append(recs, rs...)
+		}
+	}
+	return recs, nil
+}
+
+// writeShuffleOutput partitions (and optionally combines) a map task's
+// output, stores the blocks locally, and — under pre-scheduling — pushes
+// DataReady notifications straight to the downstream workers.
+func (w *Worker) writeShuffleOutput(ji *jobInfo, stage *dag.Stage, id core.TaskID, recs []data.Record, notify bool, placement core.Placement) ([]int64, error) {
+	spec := stage.Shuffle
+	bucket := w.combineBucket(ji, stage)
+	sizes := make([]int64, spec.NumReducers)
+
+	if st := spec.Structure; st != nil {
+		// Known communication structure (§3.6, treeReduce): the whole
+		// (combined) output goes to a single consumer partition.
+		out := recs
+		if spec.Combine {
+			out = shuffle.Combine(out, spec.CombineFunc, bucket)
+		}
+		target := st.Consumer(id.Partition)
+		blk := shuffle.BlockID{
+			Job:             ji.name,
+			Batch:           int64(id.Batch),
+			Stage:           id.Stage,
+			MapPartition:    id.Partition,
+			ReducePartition: target,
+		}
+		sizes[target] = int64(w.store.Put(blk, out))
+		if notify {
+			w.notifyConsumers(ji, id, placement, sizes[target], func(child, r int) bool {
+				return r == target
+			})
+		}
+		return sizes, nil
+	}
+
+	part := data.NewHashPartitioner(spec.NumReducers)
+	parts := data.PartitionRecords(recs, part)
+	for r, out := range parts {
+		if spec.Combine {
+			out = shuffle.Combine(out, spec.CombineFunc, bucket)
+		}
+		blk := shuffle.BlockID{
+			Job:             ji.name,
+			Batch:           int64(id.Batch),
+			Stage:           id.Stage,
+			MapPartition:    id.Partition,
+			ReducePartition: r,
+		}
+		sizes[r] = int64(w.store.Put(blk, out))
+	}
+	if notify {
+		var total int64
+		for _, sz := range sizes {
+			total += sz
+		}
+		w.notifyConsumers(ji, id, placement, total, func(int, int) bool { return true })
+	}
+	return sizes, nil
+}
+
+// notifyConsumers pushes DataReady notifications to the owners of the
+// consumer partitions selected by the filter (all partitions for an
+// all-to-all shuffle, one for a structured shuffle).
+func (w *Worker) notifyConsumers(ji *jobInfo, id core.TaskID, placement core.Placement, size int64, include func(child, r int) bool) {
+	dep := core.Dep{Job: ji.name, Batch: id.Batch, Stage: id.Stage, MapPartition: id.Partition}
+	notified := make(map[rpc.NodeID]bool)
+	for _, child := range ji.job.Children(id.Stage) {
+		for r := 0; r < ji.job.Stages[child].NumPartitions; r++ {
+			if !include(child, r) {
+				continue
+			}
+			owner := placement.Assign(child, r)
+			if notified[owner] {
+				continue
+			}
+			notified[owner] = true
+			if owner == w.id {
+				w.ls.OnDataReady(dep, w.id)
+			} else {
+				w.send(owner, core.DataReady{Dep: dep, Holder: w.id, Size: size})
+			}
+		}
+	}
+}
+
+// combineBucket picks the time bucketing for map-side combining. Combining
+// must never merge records across a window boundary that *any* downstream
+// stage will aggregate on, so the search walks transitively: an interior
+// partial-aggregation stage two hops above a windowed count still buckets
+// by that window.
+func (w *Worker) combineBucket(ji *jobInfo, stage *dag.Stage) shuffle.TimeBucket {
+	queue := ji.job.Children(stage.ID)
+	seen := make(map[int]bool)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if win := ji.job.Stages[id].Window; win != nil {
+			return shuffle.WindowBucket(*win)
+		}
+		queue = append(queue, ji.job.Children(id)...)
+	}
+	return shuffle.IdentityBucket
+}
+
+// runTerminal applies a terminal-stage task: windowed state update,
+// per-batch reduction, or raw pass-through, then the sink.
+func (w *Worker) runTerminal(ji *jobInfo, stage *dag.Stage, id core.TaskID, recs []data.Record) {
+	switch {
+	case stage.Window != nil:
+		key := checkpoint.StateKey{Job: ji.name, Stage: id.Stage, Partition: id.Partition}
+		emitted, dup := w.states.ApplyBatch(key, id.Batch, recs, stage.Reduce, *stage.Window, ji.closeNanos)
+		if dup {
+			return
+		}
+		if len(emitted) > 0 && stage.Sink != nil {
+			stage.Sink(int64(id.Batch), id.Partition, emitted)
+		}
+	case stage.Reduce != nil:
+		out := shuffle.Combine(recs, stage.Reduce, shuffle.IdentityBucket)
+		if stage.Sink != nil {
+			stage.Sink(int64(id.Batch), id.Partition, out)
+		}
+	default:
+		if stage.Sink != nil {
+			stage.Sink(int64(id.Batch), id.Partition, recs)
+		}
+	}
+}

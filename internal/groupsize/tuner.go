@@ -1,0 +1,133 @@
+// Package groupsize implements the adaptive group-size tuning algorithm of
+// Section 3.4: an AIMD controller, inspired by TCP congestion control, that
+// keeps the fraction of time a job spends in centralized coordination within
+// user-specified bounds while otherwise keeping the group as small as
+// possible (small groups = fast adaptation to failures and load changes).
+//
+// When the measured scheduling overhead exceeds the upper bound the group
+// size is multiplicatively increased so the overhead drops quickly; once it
+// falls below the lower bound the group size is additively decreased to
+// claw back adaptability. Overhead samples are smoothed with an
+// exponentially weighted moving average so transient spikes (the paper
+// cites GC pauses) do not cause oscillation.
+package groupsize
+
+import (
+	"fmt"
+	"time"
+
+	"drizzle/internal/metrics"
+)
+
+// Config parameterizes the tuner.
+type Config struct {
+	// LowerBound and UpperBound bracket the acceptable scheduling-overhead
+	// fraction (coordination time / total time), e.g. 0.05 and 0.10.
+	LowerBound float64
+	UpperBound float64
+	// MinGroup and MaxGroup clamp the group size.
+	MinGroup int
+	MaxGroup int
+	// MultIncrease is the multiplicative-increase factor (> 1).
+	MultIncrease float64
+	// AddDecrease is the additive-decrease step (>= 1 micro-batches).
+	AddDecrease int
+	// Alpha is the EWMA smoothing factor in (0, 1].
+	Alpha float64
+}
+
+// DefaultConfig returns the configuration used by the experiments: a 5–10%
+// overhead band, doubling on increase, decrementing by 2 on decrease.
+func DefaultConfig() Config {
+	return Config{
+		LowerBound:   0.05,
+		UpperBound:   0.10,
+		MinGroup:     1,
+		MaxGroup:     512,
+		MultIncrease: 2.0,
+		AddDecrease:  2,
+		Alpha:        0.3,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.LowerBound < 0 || c.UpperBound <= 0 || c.LowerBound >= c.UpperBound:
+		return fmt.Errorf("groupsize: bounds [%v, %v] invalid", c.LowerBound, c.UpperBound)
+	case c.MinGroup < 1 || c.MaxGroup < c.MinGroup:
+		return fmt.Errorf("groupsize: group range [%d, %d] invalid", c.MinGroup, c.MaxGroup)
+	case c.MultIncrease <= 1:
+		return fmt.Errorf("groupsize: MultIncrease %v must exceed 1", c.MultIncrease)
+	case c.AddDecrease < 1:
+		return fmt.Errorf("groupsize: AddDecrease %d must be >= 1", c.AddDecrease)
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("groupsize: Alpha %v must be in (0,1]", c.Alpha)
+	}
+	return nil
+}
+
+// Tuner adjusts the group size from observed coordination/execution times.
+// It is not safe for concurrent use; the driver calls it from its scheduling
+// loop only.
+type Tuner struct {
+	cfg   Config
+	group int
+	ewma  *metrics.EWMA
+	hist  []Decision
+}
+
+// Decision records one tuner step, for the tuning-convergence experiment.
+type Decision struct {
+	Overhead float64 // smoothed overhead fraction that drove the decision
+	Group    int     // group size chosen for the next group
+}
+
+// New returns a Tuner starting at initialGroup.
+func New(cfg Config, initialGroup int) (*Tuner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tuner{cfg: cfg, group: clamp(initialGroup, cfg.MinGroup, cfg.MaxGroup)}
+	t.ewma = metrics.NewEWMA(cfg.Alpha)
+	return t, nil
+}
+
+// Group returns the current group size.
+func (t *Tuner) Group() int { return t.group }
+
+// Update folds in the measurements of one completed group — time spent in
+// centralized coordination (scheduling, serialization, barrier) and time
+// spent executing — and returns the group size to use for the next group.
+func (t *Tuner) Update(coord, exec time.Duration) int {
+	total := coord + exec
+	var sample float64
+	if total > 0 {
+		sample = float64(coord) / float64(total)
+	}
+	overhead := t.ewma.Update(sample)
+
+	switch {
+	case overhead > t.cfg.UpperBound:
+		t.group = clamp(int(float64(t.group)*t.cfg.MultIncrease+0.5), t.cfg.MinGroup, t.cfg.MaxGroup)
+	case overhead < t.cfg.LowerBound:
+		t.group = clamp(t.group-t.cfg.AddDecrease, t.cfg.MinGroup, t.cfg.MaxGroup)
+	}
+	t.hist = append(t.hist, Decision{Overhead: overhead, Group: t.group})
+	return t.group
+}
+
+// History returns all decisions made so far.
+func (t *Tuner) History() []Decision {
+	return append([]Decision(nil), t.hist...)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

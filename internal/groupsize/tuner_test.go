@@ -1,0 +1,171 @@
+package groupsize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{LowerBound: 0.2, UpperBound: 0.1, MinGroup: 1, MaxGroup: 10, MultIncrease: 2, AddDecrease: 1, Alpha: 0.5},
+		{LowerBound: 0.05, UpperBound: 0.1, MinGroup: 0, MaxGroup: 10, MultIncrease: 2, AddDecrease: 1, Alpha: 0.5},
+		{LowerBound: 0.05, UpperBound: 0.1, MinGroup: 5, MaxGroup: 2, MultIncrease: 2, AddDecrease: 1, Alpha: 0.5},
+		{LowerBound: 0.05, UpperBound: 0.1, MinGroup: 1, MaxGroup: 10, MultIncrease: 1, AddDecrease: 1, Alpha: 0.5},
+		{LowerBound: 0.05, UpperBound: 0.1, MinGroup: 1, MaxGroup: 10, MultIncrease: 2, AddDecrease: 0, Alpha: 0.5},
+		{LowerBound: 0.05, UpperBound: 0.1, MinGroup: 1, MaxGroup: 10, MultIncrease: 2, AddDecrease: 1, Alpha: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTunerIncreasesUnderHighOverhead(t *testing.T) {
+	tuner, err := New(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50% overhead, far above the 10% bound: size must grow.
+	g := tuner.Update(50*time.Millisecond, 50*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		next := tuner.Update(50*time.Millisecond, 50*time.Millisecond)
+		if next < g {
+			t.Fatalf("group shrank under high overhead: %d -> %d", g, next)
+		}
+		g = next
+	}
+	if g <= 2 {
+		t.Fatalf("group did not grow: %d", g)
+	}
+}
+
+func TestTunerDecreasesUnderLowOverhead(t *testing.T) {
+	tuner, err := New(DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~0% overhead: size must shrink additively toward MinGroup.
+	prev := tuner.Group()
+	for i := 0; i < 100; i++ {
+		g := tuner.Update(0, time.Second)
+		if g > prev {
+			t.Fatalf("group grew under low overhead: %d -> %d", prev, g)
+		}
+		prev = g
+	}
+	if prev != DefaultConfig().MinGroup {
+		t.Fatalf("group = %d, want MinGroup %d", prev, DefaultConfig().MinGroup)
+	}
+}
+
+func TestTunerHoldsInsideBand(t *testing.T) {
+	cfg := DefaultConfig()
+	tuner, err := New(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7.5% overhead sits inside [5%, 10%]: size must not change.
+	for i := 0; i < 20; i++ {
+		if g := tuner.Update(75*time.Millisecond, 925*time.Millisecond); g != 10 {
+			t.Fatalf("group changed inside band: %d", g)
+		}
+	}
+}
+
+// TestTunerConvergesOnCostModel simulates the driver's situation: a fixed
+// coordination cost per group and an execution cost proportional to group
+// size. The tuner must settle at a group size whose overhead is within (or
+// hugging) the band.
+func TestTunerConvergesOnCostModel(t *testing.T) {
+	cfg := DefaultConfig()
+	tuner, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := 100 * time.Millisecond    // per-group coordination cost
+	perBatch := 100 * time.Millisecond // execution time per micro-batch
+	for i := 0; i < 200; i++ {
+		g := tuner.Group()
+		tuner.Update(coord, time.Duration(g)*perBatch)
+	}
+	// Steady state: overhead = coord / (coord + g*perBatch) should be
+	// around the band; with these costs, overhead at g=10 is ~9%.
+	g := tuner.Group()
+	overhead := float64(coord) / float64(coord+time.Duration(g)*perBatch)
+	if overhead > cfg.UpperBound*1.5 {
+		t.Fatalf("converged group %d leaves overhead %.3f far above bound", g, overhead)
+	}
+	if g > 64 {
+		t.Fatalf("group %d overshoots a reasonable steady state", g)
+	}
+}
+
+// TestTunerBoundsQuick property-tests that the group size always stays
+// within [MinGroup, MaxGroup] under arbitrary measurement sequences.
+func TestTunerBoundsQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64, steps uint8) bool {
+		tuner, err := New(cfg, 4)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(steps); i++ {
+			coord := time.Duration(rng.Int63n(int64(time.Second)))
+			exec := time.Duration(rng.Int63n(int64(10 * time.Second)))
+			g := tuner.Update(coord, exec)
+			if g < cfg.MinGroup || g > cfg.MaxGroup {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunerHistory(t *testing.T) {
+	tuner, _ := New(DefaultConfig(), 4)
+	tuner.Update(time.Second, time.Second)
+	tuner.Update(0, time.Second)
+	h := tuner.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(h))
+	}
+	if h[0].Group < 4 {
+		t.Fatalf("first decision should have grown the group, got %d", h[0].Group)
+	}
+}
+
+func TestNewClampsInitialGroup(t *testing.T) {
+	cfg := DefaultConfig()
+	tuner, err := New(cfg, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuner.Group() != cfg.MaxGroup {
+		t.Fatalf("initial group not clamped: %d", tuner.Group())
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}, 1); err == nil {
+		t.Fatal("New accepted zero config")
+	}
+}
+
+func TestTunerZeroTotal(t *testing.T) {
+	tuner, _ := New(DefaultConfig(), 4)
+	// Zero measurements must not panic or divide by zero; overhead 0 is
+	// below the lower bound, so the group shrinks.
+	if g := tuner.Update(0, 0); g > 4 {
+		t.Fatalf("group grew on zero measurements: %d", g)
+	}
+}

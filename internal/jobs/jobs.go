@@ -1,0 +1,111 @@
+// Package jobs holds the built-in job definitions shared by the TCP
+// deployment daemons (cmd/drizzle-driver and cmd/drizzle-worker). Plans
+// contain Go closures and therefore cannot travel over the wire; instead
+// every process registers the same plans by name at startup and the
+// SubmitJob control message carries only the name (see DESIGN.md,
+// substitutions). Generators are seeded deterministically so every node
+// derives identical plans.
+package jobs
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/engine"
+	"drizzle/internal/streaming"
+	"drizzle/internal/workload"
+)
+
+// Names of the built-in jobs.
+const (
+	YahooDemo     = "yahoo-demo"
+	WordCountDemo = "wordcount-demo"
+)
+
+// RegisterBuiltin installs the built-in jobs into reg. Every daemon in a
+// TCP cluster must call it with identical parameters (the defaults).
+func RegisterBuiltin(reg *engine.Registry) error {
+	if err := registerYahooDemo(reg); err != nil {
+		return err
+	}
+	return registerWordCountDemo(reg)
+}
+
+// registerYahooDemo builds a laptop-scale Yahoo streaming benchmark with a
+// worker-side sink that periodically logs per-window campaign totals.
+func registerYahooDemo(reg *engine.Registry) error {
+	cfg := workload.DefaultYahooConfig()
+	cfg.EventsPerSecPerPartition = 5000
+	y := workload.NewYahoo(cfg)
+
+	var mu sync.Mutex
+	var lastLog time.Time
+	sink := func(batch int64, partition int, out []data.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(lastLog) < time.Second || len(out) == 0 {
+			return
+		}
+		lastLog = time.Now()
+		var total int64
+		for _, r := range out {
+			total += r.Val
+		}
+		name, _ := y.CampaignName(out[0].Key)
+		log.Printf("jobs: %s window=%d partition=%d campaigns=%d views=%d (e.g. %s=%d)",
+			YahooDemo, out[0].Time, partition, len(out), total, name, out[0].Val)
+	}
+
+	ctx := streaming.NewContext(YahooDemo, 100*time.Millisecond)
+	ctx.Source(8, y.SourceFunc()).
+		Apply(y.ParseFilterJoinOp()).
+		CountByKeyAndWindow(y.WindowSize(), 4, streaming.Combine).
+		Sink(sink)
+	job, err := ctx.Build()
+	if err != nil {
+		return fmt.Errorf("jobs: %s: %w", YahooDemo, err)
+	}
+	return reg.Register(YahooDemo, job)
+}
+
+// registerWordCountDemo is a minimal synthetic counting job.
+func registerWordCountDemo(reg *engine.Registry) error {
+	words := []string{"drizzle", "spark", "flink", "stream", "batch", "group"}
+	keys := make([]uint64, len(words))
+	for i, w := range words {
+		keys[i] = data.HashString(w)
+	}
+	src := func(b dag.BatchInfo) []data.Record {
+		recs := make([]data.Record, 0, 60)
+		span := b.End - b.Start
+		for i := 0; i < 60; i++ {
+			recs = append(recs, data.Record{
+				Key:  keys[i%len(keys)],
+				Val:  1,
+				Time: b.Start + int64(i)*span/60,
+			})
+		}
+		return recs
+	}
+	ctx := streaming.NewContext(WordCountDemo, 100*time.Millisecond)
+	ctx.Source(4, src).
+		CountByKeyAndWindow(time.Second, 2, streaming.Combine).
+		Sink(func(batch int64, partition int, out []data.Record) {
+			for _, r := range out {
+				for i, k := range keys {
+					if k == r.Key {
+						log.Printf("jobs: %s window=%d %s=%d", WordCountDemo, r.Time, words[i], r.Val)
+					}
+				}
+			}
+		})
+	job, err := ctx.Build()
+	if err != nil {
+		return fmt.Errorf("jobs: %s: %w", WordCountDemo, err)
+	}
+	return reg.Register(WordCountDemo, job)
+}

@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"testing"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/engine"
+)
+
+func TestRegisterBuiltin(t *testing.T) {
+	reg := engine.NewRegistry()
+	if err := RegisterBuiltin(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{YahooDemo, WordCountDemo} {
+		job, ok := reg.Lookup(name)
+		if !ok {
+			t.Fatalf("builtin job %q not registered", name)
+		}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("builtin job %q invalid: %v", name, err)
+		}
+	}
+	// Registering twice must fail loudly (duplicate names), matching the
+	// daemons' single-registration startup.
+	if err := RegisterBuiltin(reg); err == nil {
+		t.Fatal("duplicate builtin registration succeeded")
+	}
+}
+
+// TestBuiltinSourcesDeterministic checks the cross-process contract: two
+// independently built registries must generate identical input for the
+// same batch, since driver and workers register plans separately.
+func TestBuiltinSourcesDeterministic(t *testing.T) {
+	regA, regB := engine.NewRegistry(), engine.NewRegistry()
+	if err := RegisterBuiltin(regA); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterBuiltin(regB); err != nil {
+		t.Fatal(err)
+	}
+	jobA, _ := regA.Lookup(YahooDemo)
+	jobB, _ := regB.Lookup(YahooDemo)
+	info := dag.BatchInfo{Batch: 3, Partition: 1, Start: 1e9, End: 11e8}
+	a := jobA.Stages[0].Source(info)
+	b := jobB.Stages[0].Source(info)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("source lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i].Payload) != string(b[i].Payload) || a[i].Time != b[i].Time {
+			t.Fatalf("record %d differs across registries", i)
+		}
+	}
+}

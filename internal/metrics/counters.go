@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing thread-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Stopwatch accumulates wall time spent in named phases. The Drizzle driver
+// uses one to split a group's elapsed time into "coordination" (scheduling,
+// serialization, barrier waits) versus "execution", which feeds the AIMD
+// group-size tuner (Section 3.4).
+type Stopwatch struct {
+	mu    sync.Mutex
+	total map[string]time.Duration
+}
+
+// NewStopwatch returns an empty stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{total: make(map[string]time.Duration)}
+}
+
+// Record adds d to the accumulated time for phase.
+func (s *Stopwatch) Record(phase string, d time.Duration) {
+	s.mu.Lock()
+	s.total[phase] += d
+	s.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration under phase.
+func (s *Stopwatch) Time(phase string, fn func()) {
+	start := time.Now()
+	fn()
+	s.Record(phase, time.Since(start))
+}
+
+// Total returns the accumulated time for phase.
+func (s *Stopwatch) Total(phase string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total[phase]
+}
+
+// Reset zeroes all phases.
+func (s *Stopwatch) Reset() {
+	s.mu.Lock()
+	s.total = make(map[string]time.Duration)
+	s.mu.Unlock()
+}
+
+// EWMA is an exponentially weighted moving average. The group-size tuner
+// smooths scheduling-overhead measurements with one so that transient
+// latency spikes (the paper cites GC pauses) do not cause oscillation.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; larger
+// alpha weighs recent samples more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds in a sample and returns the new average.
+func (e *EWMA) Update(sample float64) float64 {
+	if !e.init {
+		e.value, e.init = sample, true
+	} else {
+		e.value = e.alpha*sample + (1-e.alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }

@@ -1,0 +1,154 @@
+// Package metrics provides the measurement primitives used by every
+// experiment in the repository: latency histograms with percentile and CDF
+// queries, time series for latency-over-time plots (Figure 7), and simple
+// thread-safe counters used by the schedulers to measure coordination
+// overhead (Section 3.4).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and answers percentile/CDF queries.
+// It keeps exact samples (the experiments record at most a few hundred
+// thousand window latencies, so exactness is affordable and avoids bucket
+// resolution artifacts in the CDF figures).
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records a single duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveMillis(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveMillis records a sample expressed in milliseconds. Negative and
+// non-finite samples are clamped to zero: they can only arise from clock
+// skew between the generator and the sink and would otherwise corrupt
+// percentiles.
+func (h *Histogram) ObserveMillis(ms float64) {
+	if ms < 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		ms = 0
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, ms)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) ensureSortedLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) in milliseconds, or 0 if the
+// histogram is empty. It uses the nearest-rank method.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSortedLocked()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the arithmetic mean in milliseconds, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Max returns the largest sample in milliseconds, or 0 if empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Min returns the smallest sample in milliseconds, or 0 if empty.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Millis   float64 // latency value
+	Fraction float64 // P(latency <= Millis)
+}
+
+// CDF returns the empirical CDF evaluated at n evenly spaced fractions
+// (1/n, 2/n, ..., 1). Used to print the CDF figures (6a, 8a, 9).
+func (h *Histogram) CDF(n int) []CDFPoint {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		out = append(out, CDFPoint{Millis: h.Quantile(f), Fraction: f})
+	}
+	return out
+}
+
+// Snapshot returns a copy of all samples in milliseconds.
+func (h *Histogram) Snapshot() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.samples...)
+}
+
+// Merge adds all samples from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for _, s := range other.Snapshot() {
+		h.ObserveMillis(s)
+	}
+}
+
+// Summary formats the standard percentile row used in experiment output.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms",
+		h.Count(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// FormatCDF renders a CDF as aligned text rows, one per point.
+func FormatCDF(points []CDFPoint) string {
+	var b strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8.2f ms  %5.3f\n", p.Millis, p.Fraction)
+	}
+	return b.String()
+}

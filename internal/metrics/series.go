@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimeSeries records (time, value) points, e.g. per-window processing
+// latency over the run for the fault-tolerance timeline (Figure 7).
+type TimeSeries struct {
+	mu     sync.Mutex
+	points []SeriesPoint
+}
+
+// SeriesPoint is a single time-series observation.
+type SeriesPoint struct {
+	At    time.Duration // offset from run start
+	Value float64       // e.g. latency in milliseconds
+}
+
+// NewTimeSeries returns an empty series.
+func NewTimeSeries() *TimeSeries {
+	return &TimeSeries{}
+}
+
+// Add records a point.
+func (ts *TimeSeries) Add(at time.Duration, value float64) {
+	ts.mu.Lock()
+	ts.points = append(ts.points, SeriesPoint{At: at, Value: value})
+	ts.mu.Unlock()
+}
+
+// Points returns a time-ordered copy of all points.
+func (ts *TimeSeries) Points() []SeriesPoint {
+	ts.mu.Lock()
+	out := append([]SeriesPoint(nil), ts.points...)
+	ts.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of points.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.points)
+}
+
+// MaxValueBetween returns the maximum value among points with lo <= At < hi,
+// and whether any point fell in the range.
+func (ts *TimeSeries) MaxValueBetween(lo, hi time.Duration) (float64, bool) {
+	max, found := 0.0, false
+	for _, p := range ts.Points() {
+		if p.At >= lo && p.At < hi {
+			if !found || p.Value > max {
+				max, found = p.Value, true
+			}
+		}
+	}
+	return max, found
+}
+
+// Format renders the series as "t_seconds value" rows.
+func (ts *TimeSeries) Format() string {
+	var b strings.Builder
+	for _, p := range ts.Points() {
+		fmt.Fprintf(&b, "%7.2f s  %10.1f\n", p.At.Seconds(), p.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// envelope is the unit framed onto TCP connections.
+type envelope struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// RegisterType registers a concrete message type with the gob codec so it
+// can travel through interface-typed envelope payloads. Call it once per
+// message type, typically from an init function in the package defining the
+// messages.
+func RegisterType(v any) {
+	gob.Register(v)
+}
+
+// TCPNetwork is a Network whose nodes live in different processes and talk
+// over TCP. Each node runs a listener; senders dial lazily and keep one
+// persistent connection per destination. Within a connection, message order
+// is preserved.
+type TCPNetwork struct {
+	mu        sync.Mutex
+	listeners map[NodeID]*tcpListener
+	addrs     map[NodeID]string // routing table: node -> host:port
+	preferred map[NodeID]string // preferred listen addresses (SetListenAddr)
+	conns     map[routeKey]*tcpConn
+	closed    bool
+	wg        sync.WaitGroup
+	logf      func(format string, args ...any)
+}
+
+type routeKey struct {
+	from, to NodeID
+}
+
+type tcpListener struct {
+	ln      net.Listener
+	handler Handler
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork returns an empty TCP network. Nodes must be announced with
+// Announce before anyone can send to them.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{
+		listeners: make(map[NodeID]*tcpListener),
+		addrs:     make(map[NodeID]string),
+		conns:     make(map[routeKey]*tcpConn),
+		logf:      log.Printf,
+	}
+}
+
+// Announce adds or updates the address of a (possibly remote) node in the
+// routing table.
+func (n *TCPNetwork) Announce(id NodeID, addr string) {
+	n.mu.Lock()
+	n.addrs[id] = addr
+	n.mu.Unlock()
+}
+
+// Addr returns the announced address of a node.
+func (n *TCPNetwork) Addr(id NodeID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.addrs[id]
+	return a, ok
+}
+
+// Listen starts a listener for node id on addr ("host:port", port 0 picks a
+// free port) and registers the handler. It returns the bound address.
+func (n *TCPNetwork) Listen(id NodeID, addr string, h Handler) (string, error) {
+	if err := validateID(id); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	if _, ok := n.listeners[id]; ok {
+		n.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("rpc: node %s already listening", id)
+	}
+	tl := &tcpListener{ln: ln, handler: h}
+	n.listeners[id] = tl
+	n.addrs[id] = ln.Addr().String()
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.accept(id, tl)
+	return ln.Addr().String(), nil
+}
+
+// SetListenAddr tells Register which address to bind for a node instead of
+// an ephemeral localhost port, so daemons can expose a fixed port.
+func (n *TCPNetwork) SetListenAddr(id NodeID, addr string) {
+	n.mu.Lock()
+	if n.preferred == nil {
+		n.preferred = make(map[NodeID]string)
+	}
+	n.preferred[id] = addr
+	n.mu.Unlock()
+}
+
+// Register implements Network by listening on the preferred address for the
+// node, or an ephemeral localhost port.
+func (n *TCPNetwork) Register(id NodeID, h Handler) error {
+	n.mu.Lock()
+	addr, ok := n.preferred[id]
+	n.mu.Unlock()
+	if !ok {
+		addr = "127.0.0.1:0"
+	}
+	_, err := n.Listen(id, addr, h)
+	return err
+}
+
+func (n *TCPNetwork) accept(id NodeID, tl *tcpListener) {
+	defer n.wg.Done()
+	for {
+		c, err := tl.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.serveConn(tl.handler, c)
+	}
+}
+
+func (n *TCPNetwork) serveConn(h Handler, c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.logf("rpc: decode: %v", err)
+			}
+			return
+		}
+		h(env.From, env.Payload)
+	}
+}
+
+// Send implements Network. The first send on a route dials the destination.
+func (n *TCPNetwork) Send(from, to NodeID, msg any) error {
+	key := routeKey{from, to}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	conn := n.conns[key]
+	addr, haveAddr := n.addrs[to]
+	n.mu.Unlock()
+
+	if conn == nil {
+		if !haveAddr {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("rpc: dial %s (%s): %w", to, addr, err)
+		}
+		conn = &tcpConn{enc: gob.NewEncoder(c), c: c}
+		n.mu.Lock()
+		if existing := n.conns[key]; existing != nil {
+			n.mu.Unlock()
+			c.Close()
+			conn = existing
+		} else {
+			n.conns[key] = conn
+			n.mu.Unlock()
+		}
+	}
+
+	conn.mu.Lock()
+	err := conn.enc.Encode(envelope{From: from, To: to, Payload: msg})
+	conn.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection so the next send re-dials.
+		n.mu.Lock()
+		if n.conns[key] == conn {
+			delete(n.conns, key)
+		}
+		n.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("rpc: send %s->%s: %w", from, to, err)
+	}
+	return nil
+}
+
+// Unregister implements Network.
+func (n *TCPNetwork) Unregister(id NodeID) {
+	n.mu.Lock()
+	tl, ok := n.listeners[id]
+	if ok {
+		delete(n.listeners, id)
+	}
+	delete(n.addrs, id)
+	n.mu.Unlock()
+	if ok {
+		tl.ln.Close()
+	}
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, tl := range n.listeners {
+		tl.ln.Close()
+	}
+	for _, c := range n.conns {
+		c.c.Close()
+	}
+	n.listeners = make(map[NodeID]*tcpListener)
+	n.conns = make(map[routeKey]*tcpConn)
+	n.mu.Unlock()
+	n.wg.Wait()
+}

@@ -1,0 +1,51 @@
+package shuffle
+
+import (
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// TimeBucket maps an event time to an aggregation bucket. Map-side
+// combining of windowed aggregates must not merge records across window
+// boundaries, so the combiner buckets by the consumer's window assignment.
+// IdentityBucket collapses all times (per-batch, unwindowed aggregation).
+type TimeBucket func(nanos int64) int64
+
+// IdentityBucket merges regardless of event time.
+func IdentityBucket(int64) int64 { return 0 }
+
+// WindowBucket returns a TimeBucket aligned to the given window spec.
+func WindowBucket(w dag.WindowSpec) TimeBucket {
+	return func(nanos int64) int64 { return w.Assign(nanos) }
+}
+
+type combineKey struct {
+	key    uint64
+	bucket int64
+}
+
+// Combine partially aggregates records by (key, time bucket) with f,
+// emitting one record per group whose Time is the bucket value. This is the
+// partial-merge aggregation the paper's workload analysis (Table 2) found
+// covers >95% of aggregation queries, and the source of the 2–3× gains in
+// Figure 8. Payloads are dropped: a combined record is an aggregate, and
+// all combinable workloads aggregate the numeric Val.
+func Combine(recs []data.Record, f dag.ReduceFunc, bucket TimeBucket) []data.Record {
+	if len(recs) == 0 {
+		return recs
+	}
+	agg := make(map[combineKey]int64, len(recs)/2+1)
+	for i := range recs {
+		k := combineKey{key: recs[i].Key, bucket: bucket(recs[i].Time)}
+		if v, ok := agg[k]; ok {
+			agg[k] = f(v, recs[i].Val)
+		} else {
+			agg[k] = recs[i].Val
+		}
+	}
+	out := make([]data.Record, 0, len(agg))
+	for k, v := range agg {
+		out = append(out, data.Record{Key: k.key, Val: v, Time: k.bucket})
+	}
+	return out
+}

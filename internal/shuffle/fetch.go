@@ -1,0 +1,144 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drizzle/internal/rpc"
+)
+
+// FetchRequest asks the holder of map-output blocks for their bytes. It is
+// the "pull" half of the push-metadata/pull-data design: the downstream
+// task controls when data moves.
+type FetchRequest struct {
+	ID     uint64
+	From   rpc.NodeID
+	Blocks []BlockID
+}
+
+// FetchResponse returns block bytes; blocks the holder no longer has are
+// listed in Missing so the fetcher can fail fast instead of timing out.
+type FetchResponse struct {
+	ID      uint64
+	Blocks  []Block
+	Missing []BlockID
+}
+
+// Block pairs a BlockID with its encoded bytes.
+type Block struct {
+	ID   BlockID
+	Data []byte
+}
+
+// WireSize implements rpc.Sizer so the in-memory transport charges
+// bandwidth proportional to the payload.
+func (f FetchResponse) WireSize() int {
+	n := 64
+	for _, b := range f.Blocks {
+		n += 32 + len(b.Data)
+	}
+	return n
+}
+
+func init() {
+	rpc.RegisterType(FetchRequest{})
+	rpc.RegisterType(FetchResponse{})
+	rpc.RegisterType(Block{})
+}
+
+// SendFunc abstracts the transport for the shuffle service and fetcher.
+type SendFunc func(to rpc.NodeID, msg any) error
+
+// Service serves a worker's block store to remote fetchers. The worker's
+// message handler routes FetchRequest messages here.
+type Service struct {
+	store *Store
+	send  SendFunc
+}
+
+// NewService returns a Service over store that replies via send.
+func NewService(store *Store, send SendFunc) *Service {
+	return &Service{store: store, send: send}
+}
+
+// HandleRequest serves one fetch request, replying to req.From.
+func (s *Service) HandleRequest(req FetchRequest) {
+	resp := FetchResponse{ID: req.ID}
+	for _, id := range req.Blocks {
+		if b, ok := s.store.GetRaw(id); ok {
+			resp.Blocks = append(resp.Blocks, Block{ID: id, Data: b})
+		} else {
+			resp.Missing = append(resp.Missing, id)
+		}
+	}
+	// A send failure means the requester died; it will be rescheduled, so
+	// dropping the reply is correct.
+	_ = s.send(req.From, resp)
+}
+
+// Fetcher issues fetch requests and matches responses, with timeouts so a
+// fetch from a machine that died mid-shuffle surfaces as a task error the
+// driver can act on (§3.3: workers forward data-plane failures to the
+// centralized scheduler).
+type Fetcher struct {
+	self rpc.NodeID
+	send SendFunc
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan FetchResponse
+}
+
+// NewFetcher returns a Fetcher identifying itself as self.
+func NewFetcher(self rpc.NodeID, send SendFunc) *Fetcher {
+	return &Fetcher{self: self, send: send, pending: make(map[uint64]chan FetchResponse)}
+}
+
+// HandleResponse routes a response to its waiting Fetch call. Late
+// responses (after timeout) are dropped.
+func (f *Fetcher) HandleResponse(resp FetchResponse) {
+	f.mu.Lock()
+	ch, ok := f.pending[resp.ID]
+	if ok {
+		delete(f.pending, resp.ID)
+	}
+	f.mu.Unlock()
+	if ok {
+		ch <- resp
+	}
+}
+
+// Fetch requests blocks from holder and waits up to timeout for the
+// response. An error is returned on transport failure, timeout, or if the
+// holder reports any block missing.
+func (f *Fetcher) Fetch(holder rpc.NodeID, blocks []BlockID, timeout time.Duration) ([]Block, error) {
+	ch := make(chan FetchResponse, 1)
+	f.mu.Lock()
+	f.nextID++
+	id := f.nextID
+	f.pending[id] = ch
+	f.mu.Unlock()
+
+	req := FetchRequest{ID: id, From: f.self, Blocks: blocks}
+	if err := f.send(holder, req); err != nil {
+		f.abandon(id)
+		return nil, fmt.Errorf("shuffle: fetch from %s: %w", holder, err)
+	}
+	select {
+	case resp := <-ch:
+		if len(resp.Missing) > 0 {
+			return nil, fmt.Errorf("shuffle: %s missing %d block(s), first %+v", holder, len(resp.Missing), resp.Missing[0])
+		}
+		return resp.Blocks, nil
+	case <-time.After(timeout):
+		f.abandon(id)
+		return nil, fmt.Errorf("shuffle: fetch from %s timed out after %v", holder, timeout)
+	}
+}
+
+func (f *Fetcher) abandon(id uint64) {
+	f.mu.Lock()
+	delete(f.pending, id)
+	f.mu.Unlock()
+}

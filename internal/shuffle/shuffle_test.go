@@ -1,0 +1,232 @@
+package shuffle
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/rpc"
+)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	id := BlockID{Batch: 1, Stage: 0, MapPartition: 2, ReducePartition: 3}
+	recs := []data.Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}}
+	size := s.Put(id, recs)
+	if size <= 0 {
+		t.Fatal("Put returned non-positive size")
+	}
+	got, ok, err := s.Get(id)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if len(got) != 2 || got[0].Val != 10 || got[1].Val != 20 {
+		t.Fatalf("Get = %v", got)
+	}
+	if _, ok, _ := s.Get(BlockID{Batch: 9}); ok {
+		t.Fatal("Get of absent block succeeded")
+	}
+}
+
+func TestStoreOverwriteAccounting(t *testing.T) {
+	s := NewStore()
+	id := BlockID{Batch: 1}
+	s.PutRaw(id, make([]byte, 100))
+	s.PutRaw(id, make([]byte, 40))
+	if n, b := s.Stats(); n != 1 || b != 40 {
+		t.Fatalf("Stats = %d blocks, %d bytes; want 1, 40", n, b)
+	}
+}
+
+func TestStorePurgeBefore(t *testing.T) {
+	s := NewStore()
+	for batch := int64(0); batch < 10; batch++ {
+		s.PutRaw(BlockID{Batch: batch}, make([]byte, 10))
+	}
+	freed := s.PurgeBefore(7)
+	if freed != 70 {
+		t.Fatalf("PurgeBefore freed %d bytes, want 70", freed)
+	}
+	if n, b := s.Stats(); n != 3 || b != 30 {
+		t.Fatalf("Stats after purge = %d, %d", n, b)
+	}
+	if _, ok := s.GetRaw(BlockID{Batch: 7}); !ok {
+		t.Fatal("purge removed a batch it should have kept")
+	}
+}
+
+func TestCombineSums(t *testing.T) {
+	recs := []data.Record{
+		{Key: 1, Val: 1}, {Key: 1, Val: 2}, {Key: 2, Val: 5},
+	}
+	out := Combine(recs, dag.Sum, IdentityBucket)
+	if len(out) != 2 {
+		t.Fatalf("Combine produced %d records, want 2", len(out))
+	}
+	sums := map[uint64]int64{}
+	for _, r := range out {
+		sums[r.Key] = r.Val
+	}
+	if sums[1] != 3 || sums[2] != 5 {
+		t.Fatalf("Combine sums wrong: %v", sums)
+	}
+}
+
+func TestCombineRespectsWindows(t *testing.T) {
+	w := dag.WindowSpec{Size: 10 * time.Millisecond}
+	ms := int64(time.Millisecond)
+	recs := []data.Record{
+		{Key: 1, Val: 1, Time: 1 * ms},
+		{Key: 1, Val: 1, Time: 9 * ms},
+		{Key: 1, Val: 1, Time: 11 * ms}, // next window
+	}
+	out := Combine(recs, dag.Sum, WindowBucket(w))
+	if len(out) != 2 {
+		t.Fatalf("Combine merged across windows: %v", out)
+	}
+	byWindow := map[int64]int64{}
+	for _, r := range out {
+		byWindow[r.Time] = r.Val
+	}
+	if byWindow[0] != 2 || byWindow[10*ms] != 1 {
+		t.Fatalf("window sums wrong: %v", byWindow)
+	}
+}
+
+// TestCombinePreservesTotalQuick property-tests that combining never
+// changes the total sum, for arbitrary inputs and either bucketing.
+func TestCombinePreservesTotalQuick(t *testing.T) {
+	w := dag.WindowSpec{Size: 3 * time.Millisecond}
+	f := func(keys []uint8, vals []int32, times []int16) bool {
+		n := min3(len(keys), len(vals), len(times))
+		recs := make([]data.Record, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			recs[i] = data.Record{Key: uint64(keys[i]), Val: int64(vals[i]), Time: int64(times[i])}
+			want += int64(vals[i])
+		}
+		for _, bucket := range []TimeBucket{IdentityBucket, WindowBucket(w)} {
+			var got int64
+			for _, r := range Combine(append([]data.Record(nil), recs...), dag.Sum, bucket) {
+				got += r.Val
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func TestCombineEmpty(t *testing.T) {
+	if out := Combine(nil, dag.Sum, IdentityBucket); len(out) != 0 {
+		t.Fatalf("Combine(nil) = %v", out)
+	}
+}
+
+// fetchHarness wires a Service and Fetcher over an in-memory network.
+func fetchHarness(t *testing.T) (*Store, *Fetcher, *rpc.InMemNetwork) {
+	t.Helper()
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
+	t.Cleanup(net.Close)
+	store := NewStore()
+	svc := NewService(store, func(to rpc.NodeID, msg any) error { return net.Send("holder", to, msg) })
+	fetcher := NewFetcher("asker", func(to rpc.NodeID, msg any) error { return net.Send("asker", to, msg) })
+	if err := net.Register("holder", func(_ rpc.NodeID, msg any) {
+		if req, ok := msg.(FetchRequest); ok {
+			svc.HandleRequest(req)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register("asker", func(_ rpc.NodeID, msg any) {
+		if resp, ok := msg.(FetchResponse); ok {
+			fetcher.HandleResponse(resp)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return store, fetcher, net
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	store, fetcher, _ := fetchHarness(t)
+	id := BlockID{Batch: 3, Stage: 0, MapPartition: 1, ReducePartition: 0}
+	store.Put(id, []data.Record{{Key: 7, Val: 70}})
+	blocks, err := fetcher.Fetch("holder", []BlockID{id}, time.Second)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(blocks) != 1 || blocks[0].ID != id {
+		t.Fatalf("Fetch = %v", blocks)
+	}
+	recs, _, err := data.DecodeBatch(blocks[0].Data)
+	if err != nil || len(recs) != 1 || recs[0].Val != 70 {
+		t.Fatalf("decoded %v, err %v", recs, err)
+	}
+}
+
+func TestFetchMissingBlock(t *testing.T) {
+	_, fetcher, _ := fetchHarness(t)
+	_, err := fetcher.Fetch("holder", []BlockID{{Batch: 99}}, time.Second)
+	if err == nil {
+		t.Fatal("Fetch of missing block succeeded")
+	}
+}
+
+func TestFetchTimeoutOnDeadHolder(t *testing.T) {
+	_, fetcher, net := fetchHarness(t)
+	net.Fail("holder")
+	start := time.Now()
+	_, err := fetcher.Fetch("holder", []BlockID{{Batch: 1}}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("Fetch from failed holder succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Fetch did not respect timeout")
+	}
+}
+
+func TestFetchConcurrent(t *testing.T) {
+	store, fetcher, _ := fetchHarness(t)
+	const n = 20
+	for i := 0; i < n; i++ {
+		store.Put(BlockID{Batch: int64(i)}, []data.Record{{Key: uint64(i), Val: int64(i)}})
+	}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			blocks, err := fetcher.Fetch("holder", []BlockID{{Batch: int64(i)}}, time.Second)
+			if err == nil && (len(blocks) != 1 || blocks[0].ID.Batch != int64(i)) {
+				err = errTest
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent fetch: %v", err)
+		}
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "wrong blocks" }

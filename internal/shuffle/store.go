@@ -1,0 +1,122 @@
+// Package shuffle implements the data plane between stages: a worker-local
+// block store for map outputs, the map-side combiner (§3.5's
+// within-a-batch optimization), and the push-metadata/pull-data fetch
+// protocol that pre-scheduling (§3.2) relies on — upstream tasks notify
+// downstream workers that blocks exist, and downstream tasks pull the bytes
+// when they activate.
+package shuffle
+
+import (
+	"sync"
+
+	"drizzle/internal/data"
+)
+
+// BlockID names one map-output block: the records map task MapPartition of
+// (Job, Batch, Stage) produced for reduce partition ReducePartition. The
+// job name is part of the identity because batch numbering restarts per
+// run; without it a later run could read a predecessor's blocks.
+type BlockID struct {
+	Job             string
+	Batch           int64
+	Stage           int
+	MapPartition    int
+	ReducePartition int
+}
+
+// Store is a worker-local, in-memory block store. The real system writes
+// map outputs to local disk; in-memory blocks preserve the architectural
+// property that matters (blocks survive task completion, are served to
+// remote fetchers, and die with the machine) while keeping experiments
+// repeatable.
+type Store struct {
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+	bytes  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[BlockID][]byte)}
+}
+
+// Put encodes recs and stores them under id, returning the encoded size.
+// Re-putting a block (recovery re-runs a map task) overwrites it.
+func (s *Store) Put(id BlockID, recs []data.Record) int {
+	b := data.EncodeBatch(make([]byte, 0, data.EncodedSize(recs)), recs)
+	s.PutRaw(id, b)
+	return len(b)
+}
+
+// PutRaw stores pre-encoded bytes under id.
+func (s *Store) PutRaw(id BlockID, b []byte) {
+	s.mu.Lock()
+	if old, ok := s.blocks[id]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.blocks[id] = b
+	s.bytes += int64(len(b))
+	s.mu.Unlock()
+}
+
+// GetRaw returns the encoded bytes of a block.
+func (s *Store) GetRaw(id BlockID) ([]byte, bool) {
+	s.mu.RLock()
+	b, ok := s.blocks[id]
+	s.mu.RUnlock()
+	return b, ok
+}
+
+// Get decodes and returns a block's records.
+func (s *Store) Get(id BlockID) ([]data.Record, bool, error) {
+	b, ok := s.GetRaw(id)
+	if !ok {
+		return nil, false, nil
+	}
+	recs, _, err := data.DecodeBatch(b)
+	if err != nil {
+		return nil, true, err
+	}
+	return recs, true, nil
+}
+
+// PurgeBefore drops all blocks of micro-batches older than batch
+// (exclusive) and returns the number of bytes freed. The driver piggybacks
+// purge watermarks on LaunchTasks so shuffle data from completed groups is
+// garbage collected.
+func (s *Store) PurgeBefore(batch int64) int64 {
+	s.mu.Lock()
+	var freed int64
+	for id, b := range s.blocks {
+		if id.Batch < batch {
+			freed += int64(len(b))
+			delete(s.blocks, id)
+		}
+	}
+	s.bytes -= freed
+	s.mu.Unlock()
+	return freed
+}
+
+// PurgeJob drops every block belonging to the named job, used when a new
+// run of the job is submitted to this worker.
+func (s *Store) PurgeJob(job string) int64 {
+	s.mu.Lock()
+	var freed int64
+	for id, b := range s.blocks {
+		if id.Job == job {
+			freed += int64(len(b))
+			delete(s.blocks, id)
+		}
+	}
+	s.bytes -= freed
+	s.mu.Unlock()
+	return freed
+}
+
+// Stats reports the block count and total bytes held.
+func (s *Store) Stats() (blocks int, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks), s.bytes
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"time"
+)
+
+// Egress models the driver's serial network send path: each control
+// message occupies the driver NIC for this long before the RPC latency
+// applies. Per-task launch messages (BSP) queue here; group scheduling
+// sends one bundle per worker and barely notices it.
+const egressPerMessage = 150 * time.Microsecond
+
+// runner executes one simulated configuration.
+type runner struct {
+	s   *sim
+	cfg Config
+
+	egressBusyUntil int64
+	doneAt          int64
+
+	// Per-map-task breakdown accumulators (Figure 4b).
+	schedDelaySum int64
+	transferSum   int64
+	computeSum    int64
+	mapCount      int64
+}
+
+// Run simulates the configured protocol and returns aggregate results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := &runner{s: newSim(cfg.Machines, cfg.Slots), cfg: cfg}
+	switch cfg.Schedule {
+	case ScheduleBSP:
+		r.startBatchBSP(0)
+	case ScheduleDrizzle:
+		r.startGroupDrizzle(0)
+	}
+	r.s.run()
+	res := Result{
+		Makespan:     time.Duration(r.doneAt),
+		TimePerBatch: time.Duration(r.doneAt / int64(cfg.Batches)),
+	}
+	if r.mapCount > 0 {
+		res.SchedulerDelay = time.Duration(r.schedDelaySum / r.mapCount)
+		res.TaskTransfer = time.Duration(r.transferSum / r.mapCount)
+		res.Compute = time.Duration(r.computeSum / r.mapCount)
+	}
+	return res, nil
+}
+
+func (r *runner) mapTasks() int { return r.cfg.Machines * r.cfg.Slots }
+
+// sendMessage passes one control message through the driver egress queue
+// and delivers it after the RPC latency. fn receives the egress-done time.
+func (r *runner) sendMessage(fn func(sent int64)) {
+	start := r.egressBusyUntil
+	if start < r.s.now {
+		start = r.s.now
+	}
+	r.egressBusyUntil = start + int64(egressPerMessage)
+	sent := r.egressBusyUntil
+	r.s.at(sent+int64(r.cfg.Costs.RPC), func() { fn(sent) })
+}
+
+// reduceFetchTime is a reduce task's shuffle-fetch duration, dominated by
+// per-map connection cost at scale (§5.2.2).
+func (r *runner) reduceFetchTime() time.Duration {
+	c := r.cfg.Costs
+	return c.FetchBase + time.Duration(r.mapTasks())*c.FetchPerMap
+}
+
+// reduceRestTime is the slot occupancy after the fetch completes.
+func (r *runner) reduceRestTime() time.Duration {
+	return r.cfg.Costs.Launch + r.cfg.Workload.ReduceCompute
+}
+
+// ---------------------------------------------------------------------------
+// BSP (Spark): per micro-batch, per stage, with driver barriers.
+
+func (r *runner) startBatchBSP(b int) {
+	if b >= r.cfg.Batches {
+		r.doneAt = r.s.now
+		return
+	}
+	c := r.cfg.Costs
+	w := r.cfg.Workload
+	stageStart := r.s.now
+	maps := r.mapTasks()
+	remaining := maps
+	for p := 0; p < maps; p++ {
+		machine := p % r.cfg.Machines
+		// Full scheduling decision + serialization per task, every batch.
+		r.s.driverWork(c.Decision, func() {
+			serDone := r.s.now
+			r.sendMessage(func(sent int64) {
+				arrive := r.s.now
+				r.schedDelaySum += serDone - stageStart
+				r.transferSum += (arrive - serDone) + int64(c.Launch)
+				r.computeSum += int64(w.MapCompute)
+				r.mapCount++
+				r.s.runOnSlot(machine, c.Launch+w.MapCompute, nil, func(end int64) {
+					r.s.at(end+int64(c.RPC), func() {
+						r.s.driverWork(c.Status, func() {
+							remaining--
+							if remaining == 0 {
+								r.afterMapsBSP(b)
+							}
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+func (r *runner) afterMapsBSP(b int) {
+	w := r.cfg.Workload
+	if w.ReduceTasks == 0 {
+		r.startBatchBSP(b + 1)
+		return
+	}
+	// Stage barrier passed: the driver now knows all map output locations
+	// and schedules the reduce stage.
+	c := r.cfg.Costs
+	remaining := w.ReduceTasks
+	fetch, rest := r.reduceFetchTime(), r.reduceRestTime()
+	for p := 0; p < w.ReduceTasks; p++ {
+		machine := p % r.cfg.Machines
+		r.s.driverWork(c.Decision, func() {
+			r.sendMessage(func(int64) {
+				r.s.fetchThenRun(machine, fetch, rest, func(end int64) {
+					r.s.at(end+int64(c.RPC), func() {
+						r.s.driverWork(c.Status, func() {
+							remaining--
+							if remaining == 0 {
+								r.startBatchBSP(b + 1)
+							}
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Drizzle: group scheduling + pre-scheduling. Group == 1 is the
+// pre-scheduling-only configuration of Figure 5b.
+
+func (r *runner) startGroupDrizzle(first int) {
+	if first >= r.cfg.Batches {
+		r.doneAt = r.s.now
+		return
+	}
+	c := r.cfg.Costs
+	w := r.cfg.Workload
+	g := r.cfg.Group
+	if rem := r.cfg.Batches - first; g > rem {
+		g = rem
+	}
+	maps := r.mapTasks()
+	tasksPerBatch := maps + w.ReduceTasks
+	totalTasks := g * tasksPerBatch
+	totalStatuses := totalTasks
+	remaining := totalStatuses
+
+	// Scheduling decisions are made once for the first micro-batch and
+	// reused: remaining instances only pay the copy cost (§3.1).
+	totalSerialization := time.Duration(tasksPerBatch)*c.Decision +
+		time.Duration((g-1)*tasksPerBatch)*c.Copy
+
+	// Amortized per-map-task breakdown (see package doc): driver time and
+	// bundle egress spread over every task in the group.
+	r.schedDelaySum += int64(totalSerialization) / int64(totalTasks) * int64(g*maps)
+	perBundle := int64(egressPerMessage) * int64(r.cfg.Machines) / int64(totalTasks)
+	r.transferSum += (perBundle + int64(c.RPC) + int64(c.Launch)) * int64(g*maps)
+	r.computeSum += int64(w.MapCompute) * int64(g*maps)
+	r.mapCount += int64(g * maps)
+
+	onStatusDone := func() {
+		remaining--
+		if remaining == 0 {
+			r.startGroupDrizzle(first + g)
+		}
+	}
+	taskDone := func(end int64) {
+		r.s.at(end+int64(c.RPC), func() {
+			r.s.driverWork(c.Status, onStatusDone)
+		})
+	}
+
+	// Per-batch reduce dependency counters: reduce task p of batch b is
+	// released when its bundle has arrived and all maps of batch b have
+	// pushed their data-ready notification (§3.2).
+	type reduceGate struct {
+		pendingMaps int
+		arrived     bool
+		launched    bool
+	}
+	gates := make([][]*reduceGate, g)
+	for i := range gates {
+		gates[i] = make([]*reduceGate, w.ReduceTasks)
+		for p := range gates[i] {
+			gates[i][p] = &reduceGate{pendingMaps: maps}
+		}
+	}
+	fetch, rest := r.reduceFetchTime(), r.reduceRestTime()
+	tryLaunchReduce := func(bi, p int) {
+		gt := gates[bi][p]
+		if gt.launched || !gt.arrived || gt.pendingMaps > 0 {
+			return
+		}
+		gt.launched = true
+		r.s.fetchThenRun(p%r.cfg.Machines, fetch, rest, taskDone)
+	}
+
+	// Bundles are serialized per worker and each is sent as soon as it is
+	// ready, so early workers start while the driver serializes the rest.
+	for m := 0; m < r.cfg.Machines; m++ {
+		machine := m
+		bundleTasks := 0
+		for p := machine; p < maps; p += r.cfg.Machines {
+			bundleTasks++
+		}
+		for p := machine; p < w.ReduceTasks; p += r.cfg.Machines {
+			bundleTasks++
+		}
+		bundleSer := time.Duration(bundleTasks)*c.Decision + time.Duration((g-1)*bundleTasks)*c.Copy
+		r.s.driverWork(bundleSer, func() {
+			r.sendMessage(func(int64) {
+				// Bundle delivery: every task of the group assigned here.
+				for bi := 0; bi < g; bi++ {
+					bi := bi
+					for p := machine; p < maps; p += r.cfg.Machines {
+						r.s.runOnSlot(machine, c.Launch+w.MapCompute, nil, func(end int64) {
+							taskDone(end)
+							if w.ReduceTasks > 0 {
+								// Data-ready notifications fan out to the
+								// workers hosting this batch's reducers.
+								r.s.at(end+int64(c.RPC), func() {
+									for rp := 0; rp < w.ReduceTasks; rp++ {
+										gates[bi][rp].pendingMaps--
+										tryLaunchReduce(bi, rp)
+									}
+								})
+							}
+						})
+					}
+					for p := machine; p < w.ReduceTasks; p += r.cfg.Machines {
+						gates[bi][p].arrived = true
+						tryLaunchReduce(bi, p)
+					}
+				}
+			})
+		})
+	}
+}

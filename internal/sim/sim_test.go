@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func singleStage(machines int, compute time.Duration) Config {
+	return Config{
+		Machines: machines,
+		Slots:    4,
+		Workload: Workload{MapCompute: compute},
+		Costs:    DefaultCosts(),
+		Batches:  100,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := singleStage(4, time.Millisecond)
+	good.Schedule = ScheduleBSP
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Machines: 0, Slots: 4, Batches: 1},
+		{Machines: 4, Slots: 0, Batches: 1},
+		{Machines: 4, Slots: 4, Batches: 0},
+		{Machines: 4, Slots: 4, Batches: 1, Schedule: ScheduleDrizzle, Group: 0},
+		{Machines: 4, Slots: 4, Batches: 1, Workload: Workload{ReduceTasks: -1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestBSPMatchesClosedForm checks the simulator against the analytical
+// model of §3.6: for a single-stage job whose scheduling dominates, BSP
+// time per batch ~= tasks*decision + constants.
+func TestBSPMatchesClosedForm(t *testing.T) {
+	cfg := singleStage(32, 500*time.Microsecond)
+	cfg.Schedule = ScheduleBSP
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := 32 * 4
+	// Serialization pipeline dominates: tasks * Decision, plus egress,
+	// RPCs, compute and status processing tails.
+	minPer := time.Duration(tasks) * DefaultCosts().Decision
+	maxPer := minPer + time.Duration(tasks)*egressPerMessage + 20*time.Millisecond
+	if res.TimePerBatch < minPer || res.TimePerBatch > maxPer {
+		t.Fatalf("BSP time/batch %v outside closed-form bounds [%v, %v]", res.TimePerBatch, minPer, maxPer)
+	}
+}
+
+// TestDrizzleAmortizes reproduces the core scaling claim (Figure 4a): at
+// 128 machines Drizzle/group=100 runs micro-batches well over an order of
+// magnitude faster than BSP.
+func TestDrizzleAmortizes(t *testing.T) {
+	bsp := singleStage(128, 500*time.Microsecond)
+	bsp.Schedule = ScheduleBSP
+	rb, err := Run(bsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz := singleStage(128, 500*time.Microsecond)
+	dz.Schedule = ScheduleDrizzle
+	dz.Group = 100
+	rd, err := Run(dz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.TimePerBatch*10 > rb.TimePerBatch {
+		t.Fatalf("no amortization: drizzle %v vs bsp %v per batch", rd.TimePerBatch, rb.TimePerBatch)
+	}
+	// The paper reports <5ms for Drizzle g=100 and ~195ms for Spark at
+	// 128 machines; allow generous slack around those calibration targets.
+	if rd.TimePerBatch > 10*time.Millisecond {
+		t.Fatalf("drizzle per-batch %v exceeds calibration target", rd.TimePerBatch)
+	}
+	if rb.TimePerBatch < 100*time.Millisecond || rb.TimePerBatch > 400*time.Millisecond {
+		t.Fatalf("bsp per-batch %v outside calibration target", rb.TimePerBatch)
+	}
+}
+
+// TestGroupSizeMonotone: larger groups never slow a scheduling-bound job.
+func TestGroupSizeMonotone(t *testing.T) {
+	prev := time.Duration(1 << 62)
+	for _, g := range []int{1, 10, 25, 50, 100} {
+		cfg := singleStage(64, 500*time.Microsecond)
+		cfg.Schedule = ScheduleDrizzle
+		cfg.Group = g
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimePerBatch > prev+time.Millisecond {
+			t.Fatalf("group %d slower (%v) than smaller group (%v)", g, res.TimePerBatch, prev)
+		}
+		prev = res.TimePerBatch
+	}
+}
+
+// TestComputeBoundDiminishingReturns reproduces Figure 5a's observation:
+// with 100x more compute per task, group sizes beyond ~25 add little.
+func TestComputeBoundDiminishingReturns(t *testing.T) {
+	run := func(g int) time.Duration {
+		cfg := singleStage(128, 90*time.Millisecond)
+		cfg.Schedule = ScheduleDrizzle
+		cfg.Group = g
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimePerBatch
+	}
+	g25, g100 := run(25), run(100)
+	if g25 == 0 || g100 == 0 {
+		t.Fatal("zero time per batch")
+	}
+	gain := float64(g25-g100) / float64(g25)
+	if gain > 0.10 {
+		t.Fatalf("group 100 still gains %.0f%% over group 25 on a compute-bound job", gain*100)
+	}
+	// And compute itself must dominate the per-batch time.
+	if g100 < 90*time.Millisecond {
+		t.Fatalf("per-batch %v below the compute floor", g100)
+	}
+}
+
+// TestPreSchedulingHelpsShuffles reproduces Figure 5b: with a 16-reducer
+// shuffle stage, pre-scheduling alone beats BSP modestly, and adding group
+// scheduling gives the large (2.7-5.5x) win.
+func TestPreSchedulingHelpsShuffles(t *testing.T) {
+	mk := func(sched Schedule, group int) time.Duration {
+		cfg := singleStage(128, 500*time.Microsecond)
+		cfg.Workload.ReduceTasks = 16
+		cfg.Workload.ReduceCompute = time.Millisecond
+		cfg.Schedule = sched
+		cfg.Group = group
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimePerBatch
+	}
+	bsp := mk(ScheduleBSP, 0)
+	pre := mk(ScheduleDrizzle, 1)
+	grouped := mk(ScheduleDrizzle, 100)
+	if pre >= bsp {
+		t.Fatalf("pre-scheduling did not help: %v vs bsp %v", pre, bsp)
+	}
+	speedup := float64(bsp) / float64(grouped)
+	if speedup < 2 {
+		t.Fatalf("group+pre speedup %.1fx below the paper's 2.7-5.5x band", speedup)
+	}
+	t.Logf("bsp=%v preSched=%v drizzle=%v speedup=%.1fx", bsp, pre, grouped, speedup)
+}
+
+// TestBreakdownShape reproduces Figure 4b's qualitative content: under
+// BSP, scheduler delay and transfer dwarf compute; under Drizzle all
+// control components collapse.
+func TestBreakdownShape(t *testing.T) {
+	bsp := singleStage(128, 500*time.Microsecond)
+	bsp.Schedule = ScheduleBSP
+	rb, _ := Run(bsp)
+	if rb.SchedulerDelay < 10*rb.Compute {
+		t.Fatalf("BSP scheduler delay %v does not dominate compute %v", rb.SchedulerDelay, rb.Compute)
+	}
+	dz := singleStage(128, 500*time.Microsecond)
+	dz.Schedule = ScheduleDrizzle
+	dz.Group = 100
+	rd, _ := Run(dz)
+	if rd.SchedulerDelay > rb.SchedulerDelay/20 {
+		t.Fatalf("Drizzle scheduler delay %v not amortized vs BSP %v", rd.SchedulerDelay, rb.SchedulerDelay)
+	}
+	if rd.Compute != rb.Compute {
+		t.Fatalf("compute should be identical across protocols: %v vs %v", rd.Compute, rb.Compute)
+	}
+}
+
+// TestWeakScalingShape: BSP per-batch time grows with machines; Drizzle
+// g=100 stays nearly flat (Figure 4a's x-axis behavior).
+func TestWeakScalingShape(t *testing.T) {
+	var bspTimes, dzTimes []time.Duration
+	for _, m := range []int{4, 16, 64, 128} {
+		b := singleStage(m, 500*time.Microsecond)
+		b.Schedule = ScheduleBSP
+		rb, err := Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bspTimes = append(bspTimes, rb.TimePerBatch)
+		d := singleStage(m, 500*time.Microsecond)
+		d.Schedule = ScheduleDrizzle
+		d.Group = 100
+		rd, err := Run(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dzTimes = append(dzTimes, rd.TimePerBatch)
+	}
+	for i := 1; i < len(bspTimes); i++ {
+		if bspTimes[i] <= bspTimes[i-1] {
+			t.Fatalf("BSP time/batch not growing with cluster size: %v", bspTimes)
+		}
+	}
+	growth := float64(dzTimes[len(dzTimes)-1]) / float64(dzTimes[0])
+	if growth > 8 {
+		t.Fatalf("Drizzle not flat under weak scaling: %v", dzTimes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := singleStage(32, time.Millisecond)
+	cfg.Schedule = ScheduleDrizzle
+	cfg.Group = 10
+	cfg.Workload.ReduceTasks = 8
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(cfg)
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGroupLargerThanBatches(t *testing.T) {
+	cfg := singleStage(8, time.Millisecond)
+	cfg.Schedule = ScheduleDrizzle
+	cfg.Group = 1000 // larger than Batches
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+}

@@ -1,0 +1,150 @@
+package streaming
+
+import (
+	"sync"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/metrics"
+)
+
+// LatencySink measures end-to-end window processing latency the way the
+// Yahoo streaming benchmark defines it: for each emitted window, the time
+// between the window's (wall-clock) end and the moment its result was
+// produced. It can simultaneously feed a histogram (CDF figures) and a
+// time series (the failure-timeline figure).
+type LatencySink struct {
+	mu          sync.Mutex
+	hist        *metrics.Histogram
+	series      *metrics.TimeSeries
+	start       time.Time
+	warmupUntil time.Time
+	perWindow   map[int64]float64 // window start -> max latency over partitions
+	seen        map[[2]int64]bool // (window, partition) already measured
+	next        dag.SinkFunc      // optional downstream sink
+}
+
+// NewLatencySink returns a sink recording into hist (required) and series
+// (optional; pass nil to skip the timeline). start anchors the series'
+// time axis.
+func NewLatencySink(hist *metrics.Histogram, series *metrics.TimeSeries, start time.Time) *LatencySink {
+	return &LatencySink{
+		hist:      hist,
+		series:    series,
+		start:     start,
+		perWindow: make(map[int64]float64),
+		seen:      make(map[[2]int64]bool),
+	}
+}
+
+// Warmup discards histogram samples observed before start+d (the time
+// series still records them, so timelines keep their full extent).
+func (l *LatencySink) Warmup(d time.Duration) *LatencySink {
+	l.warmupUntil = l.start.Add(d)
+	return l
+}
+
+// Chain forwards emitted records to next after measuring.
+func (l *LatencySink) Chain(next dag.SinkFunc) *LatencySink {
+	l.next = next
+	return l
+}
+
+// Fn returns the dag.SinkFunc to install on the terminal stage. Emitted
+// records carry Time = window start; the window size is needed to find the
+// window end.
+func (l *LatencySink) Fn(window time.Duration) dag.SinkFunc {
+	return func(batch int64, partition int, out []data.Record) {
+		now := time.Now()
+		nowNanos := now.UnixNano()
+		l.mu.Lock()
+		warm := l.warmupUntil.IsZero() || now.After(l.warmupUntil)
+		for _, r := range out {
+			// Only the first emission of a (window, partition) counts:
+			// recovery may deterministically re-emit a window whose result
+			// the sink already delivered, and that re-emission is not a
+			// user-visible latency.
+			sk := [2]int64{r.Time, int64(partition)}
+			if l.seen[sk] {
+				continue
+			}
+			l.seen[sk] = true
+			end := r.Time + int64(window)
+			lat := float64(nowNanos-end) / 1e6
+			if lat < 0 {
+				lat = 0
+			}
+			if warm {
+				l.hist.ObserveMillis(lat)
+			}
+			if prev, ok := l.perWindow[r.Time]; !ok || lat > prev {
+				l.perWindow[r.Time] = lat
+			}
+			if l.series != nil {
+				l.series.Add(now.Sub(l.start), lat)
+			}
+		}
+		l.mu.Unlock()
+		if l.next != nil {
+			l.next(batch, partition, out)
+		}
+	}
+}
+
+// WindowLatencies returns the worst observed latency per window start.
+func (l *LatencySink) WindowLatencies() map[int64]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[int64]float64, len(l.perWindow))
+	for k, v := range l.perWindow {
+		out[k] = v
+	}
+	return out
+}
+
+// CollectSink accumulates emitted (window, key) -> value results with
+// last-write-wins semantics (recovery may re-emit a window; recomputation
+// is deterministic so duplicates carry identical values).
+type CollectSink struct {
+	mu      sync.Mutex
+	results map[[2]int64]int64
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink {
+	return &CollectSink{results: make(map[[2]int64]int64)}
+}
+
+// Fn returns the dag.SinkFunc.
+func (c *CollectSink) Fn() dag.SinkFunc {
+	return func(batch int64, partition int, out []data.Record) {
+		c.mu.Lock()
+		for _, r := range out {
+			c.results[[2]int64{r.Time, int64(r.Key)}] = r.Val
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Results returns a copy of the accumulated results.
+func (c *CollectSink) Results() map[[2]int64]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[[2]int64]int64, len(c.results))
+	for k, v := range c.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Total sums all collected values.
+func (c *CollectSink) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.results {
+		t += v
+	}
+	return t
+}

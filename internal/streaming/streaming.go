@@ -1,0 +1,277 @@
+// Package streaming provides the high-level stream-programming API layered
+// on the micro-batch engine, playing the role Spark Streaming plays above
+// Spark in the paper (§4): a fluent builder that compiles map / filter /
+// flatMap chains and windowed aggregations into the engine's stage DAG.
+//
+// A pipeline is built from a Context:
+//
+//	ctx := streaming.NewContext("yahoo", 100*time.Millisecond)
+//	ctx.Source(64, gen).
+//	    Filter(isView).
+//	    Map(project).
+//	    CountByKeyAndWindow(10*time.Second, 16, streaming.Combine).
+//	    Sink(sink)
+//	job, err := ctx.Build()
+//
+// The resulting *dag.Job is registered with an engine.Registry and run by
+// an engine.Driver in any scheduling mode.
+package streaming
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// CombineMode selects whether a windowed aggregation uses map-side partial
+// aggregation (§3.5) — the reduceBy vs groupBy ablation of Figures 6 and 8.
+type CombineMode bool
+
+const (
+	// Combine enables map-side partial aggregation (reduceBy).
+	Combine CombineMode = true
+	// NoCombine ships raw records to the reducers (groupBy).
+	NoCombine CombineMode = false
+)
+
+// Context accumulates a pipeline definition.
+type Context struct {
+	name     string
+	interval time.Duration
+	stages   []dag.Stage
+	err      error
+	built    bool
+}
+
+// NewContext starts a pipeline named name with micro-batch interval T.
+func NewContext(name string, interval time.Duration) *Context {
+	return &Context{name: name, interval: interval}
+}
+
+// Stream is a handle to the (single) open stage of a pipeline under
+// construction.
+type Stream struct {
+	ctx   *Context
+	stage int // index into ctx.stages
+}
+
+// fail records the first builder error; later calls become no-ops so call
+// sites can chain without per-step error checks.
+func (c *Context) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("streaming: "+format, args...)
+	}
+}
+
+// Source starts the pipeline from a replayable generator with the given
+// partition count.
+func (c *Context) Source(partitions int, src dag.SourceFunc) *Stream {
+	if len(c.stages) != 0 {
+		c.fail("pipeline already has a source")
+		return &Stream{ctx: c}
+	}
+	if partitions <= 0 || src == nil {
+		c.fail("source needs positive partitions and a generator")
+		return &Stream{ctx: c}
+	}
+	c.stages = append(c.stages, dag.Stage{
+		ID:            0,
+		NumPartitions: partitions,
+		Source:        src,
+	})
+	return &Stream{ctx: c, stage: 0}
+}
+
+func (s *Stream) appendOp(op dag.NarrowOp) *Stream {
+	if s.ctx.err != nil {
+		return s
+	}
+	st := &s.ctx.stages[s.stage]
+	if st.Shuffle != nil || st.Sink != nil {
+		s.ctx.fail("cannot add operators after the stage was finalized")
+		return s
+	}
+	st.Ops = append(st.Ops, op)
+	return s
+}
+
+// Apply appends a raw narrow operator to the stream — the escape hatch
+// for pre-fused operator chains like the workloads' parse/filter/join ops.
+func (s *Stream) Apply(op dag.NarrowOp) *Stream {
+	if op == nil {
+		s.ctx.fail("nil operator")
+		return s
+	}
+	return s.appendOp(op)
+}
+
+// Map applies f to every record.
+func (s *Stream) Map(f func(data.Record) data.Record) *Stream {
+	return s.appendOp(dag.Map(f))
+}
+
+// Filter keeps records for which keep returns true.
+func (s *Stream) Filter(keep func(data.Record) bool) *Stream {
+	return s.appendOp(dag.Filter(keep))
+}
+
+// FlatMap replaces each record with zero or more records.
+func (s *Stream) FlatMap(f func(data.Record) []data.Record) *Stream {
+	return s.appendOp(dag.FlatMap(f))
+}
+
+// ReduceByKeyAndWindow shuffles by key into partitions reducers and
+// aggregates Val per key over event-time tumbling windows with f.
+func (s *Stream) ReduceByKeyAndWindow(f dag.ReduceFunc, window time.Duration, partitions int, mode CombineMode) *Stream {
+	if s.ctx.err != nil {
+		return s
+	}
+	if partitions <= 0 || f == nil || window <= 0 {
+		s.ctx.fail("ReduceByKeyAndWindow needs a reduce func, positive window and partitions")
+		return s
+	}
+	st := &s.ctx.stages[s.stage]
+	if st.Shuffle != nil || st.Sink != nil {
+		s.ctx.fail("stage already finalized")
+		return s
+	}
+	st.Shuffle = &dag.ShuffleSpec{NumReducers: partitions}
+	if mode == Combine {
+		st.Shuffle.Combine = true
+		st.Shuffle.CombineFunc = f
+	}
+	next := dag.Stage{
+		ID:            len(s.ctx.stages),
+		NumPartitions: partitions,
+		Parents:       []int{s.stage},
+		Reduce:        f,
+		Window:        &dag.WindowSpec{Size: window},
+	}
+	s.ctx.stages = append(s.ctx.stages, next)
+	return &Stream{ctx: s.ctx, stage: next.ID}
+}
+
+// CountByKeyAndWindow counts records per key over tumbling windows; it is
+// ReduceByKeyAndWindow with a sum of ones (callers should Map records to
+// Val=1 or rely on generators that already emit Val=1).
+func (s *Stream) CountByKeyAndWindow(window time.Duration, partitions int, mode CombineMode) *Stream {
+	return s.ReduceByKeyAndWindow(dag.Sum, window, partitions, mode)
+}
+
+// ReduceByKey shuffles by key and reduces per micro-batch (no windows).
+func (s *Stream) ReduceByKey(f dag.ReduceFunc, partitions int, mode CombineMode) *Stream {
+	if s.ctx.err != nil {
+		return s
+	}
+	if partitions <= 0 || f == nil {
+		s.ctx.fail("ReduceByKey needs a reduce func and positive partitions")
+		return s
+	}
+	st := &s.ctx.stages[s.stage]
+	if st.Shuffle != nil || st.Sink != nil {
+		s.ctx.fail("stage already finalized")
+		return s
+	}
+	st.Shuffle = &dag.ShuffleSpec{NumReducers: partitions}
+	if mode == Combine {
+		st.Shuffle.Combine = true
+		st.Shuffle.CombineFunc = f
+	}
+	next := dag.Stage{
+		ID:            len(s.ctx.stages),
+		NumPartitions: partitions,
+		Parents:       []int{s.stage},
+		Reduce:        f,
+	}
+	s.ctx.stages = append(s.ctx.stages, next)
+	return &Stream{ctx: s.ctx, stage: next.ID}
+}
+
+// TreeReduce aggregates all records down to a single partition through a
+// tree of partial-merge stages with the given fan-in (§3.6's treeReduce
+// communication structure): each intermediate task consumes only fanIn
+// upstream outputs, so pre-scheduled tasks activate after fanIn
+// notifications instead of one per upstream partition. The terminal stage
+// holds one partition and reduces per micro-batch.
+func (s *Stream) TreeReduce(f dag.ReduceFunc, fanIn int) *Stream {
+	if s.ctx.err != nil {
+		return s
+	}
+	if f == nil || fanIn < 2 {
+		s.ctx.fail("TreeReduce needs a reduce func and fan-in >= 2")
+		return s
+	}
+	cur := s
+	for {
+		st := &s.ctx.stages[cur.stage]
+		if st.Shuffle != nil || st.Sink != nil {
+			s.ctx.fail("stage already finalized")
+			return cur
+		}
+		width := st.NumPartitions
+		if width == 1 {
+			// Single partition left: finish with a per-batch reduce so the
+			// sink sees one aggregate per key per micro-batch.
+			st.Reduce = f
+			return cur
+		}
+		consumers := (width + fanIn - 1) / fanIn
+		st.Shuffle = &dag.ShuffleSpec{
+			NumReducers: consumers,
+			Combine:     true,
+			CombineFunc: f,
+			Structure:   &dag.CommStructure{FanIn: fanIn},
+		}
+		next := dag.Stage{
+			ID:            len(s.ctx.stages),
+			NumPartitions: consumers,
+			Parents:       []int{cur.stage},
+		}
+		s.ctx.stages = append(s.ctx.stages, next)
+		cur = &Stream{ctx: s.ctx, stage: next.ID}
+	}
+}
+
+// Sink terminates the pipeline with an output function.
+func (s *Stream) Sink(sink dag.SinkFunc) {
+	if s.ctx.err != nil {
+		return
+	}
+	if sink == nil {
+		s.ctx.fail("nil sink")
+		return
+	}
+	st := &s.ctx.stages[s.stage]
+	if st.Shuffle != nil {
+		s.ctx.fail("cannot sink a stage with a shuffle output")
+		return
+	}
+	if st.Sink != nil {
+		s.ctx.fail("stage already has a sink")
+		return
+	}
+	st.Sink = sink
+}
+
+// Build validates and returns the compiled job. The Context cannot be
+// reused afterwards.
+func (c *Context) Build() (*dag.Job, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.built {
+		return nil, errors.New("streaming: context already built")
+	}
+	if len(c.stages) == 0 {
+		return nil, errors.New("streaming: pipeline has no source")
+	}
+	c.built = true
+	job := &dag.Job{Name: c.name, Interval: c.interval, Stages: c.stages}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	return job, nil
+}

@@ -1,0 +1,265 @@
+package streaming
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/engine"
+	"drizzle/internal/metrics"
+	"drizzle/internal/rpc"
+)
+
+func testSource(b dag.BatchInfo) []data.Record {
+	recs := make([]data.Record, 10)
+	span := b.End - b.Start
+	for i := range recs {
+		recs[i] = data.Record{Key: uint64(i % 3), Val: 1, Time: b.Start + int64(i)*span/10}
+	}
+	return recs
+}
+
+func TestBuildTwoStagePipeline(t *testing.T) {
+	ctx := NewContext("p", 50*time.Millisecond)
+	ctx.Source(4, testSource).
+		Filter(func(r data.Record) bool { return r.Key != 2 }).
+		Map(func(r data.Record) data.Record { return r }).
+		CountByKeyAndWindow(200*time.Millisecond, 2, Combine).
+		Sink(func(int64, int, []data.Record) {})
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(job.Stages) != 2 {
+		t.Fatalf("compiled %d stages, want 2", len(job.Stages))
+	}
+	if !job.Stages[0].Shuffle.Combine {
+		t.Fatal("Combine mode not compiled into shuffle spec")
+	}
+	if len(job.Stages[0].Ops) != 2 {
+		t.Fatalf("narrow ops not fused: %d", len(job.Stages[0].Ops))
+	}
+	if job.Stages[1].Window == nil || job.Stages[1].Window.Size != 200*time.Millisecond {
+		t.Fatal("window spec lost")
+	}
+}
+
+func TestBuildNoCombine(t *testing.T) {
+	ctx := NewContext("p", 50*time.Millisecond)
+	ctx.Source(2, testSource).
+		CountByKeyAndWindow(100*time.Millisecond, 2, NoCombine).
+		Sink(func(int64, int, []data.Record) {})
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Stages[0].Shuffle.Combine {
+		t.Fatal("NoCombine compiled a combiner")
+	}
+}
+
+func TestBuildPerBatchReduce(t *testing.T) {
+	ctx := NewContext("p", 50*time.Millisecond)
+	ctx.Source(2, testSource).
+		ReduceByKey(dag.Sum, 2, Combine).
+		Sink(func(int64, int, []data.Record) {})
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Stages[1].Window != nil {
+		t.Fatal("per-batch reduce has a window")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*dag.Job, error)
+	}{
+		{"no source", func() (*dag.Job, error) {
+			return NewContext("p", time.Millisecond).Build()
+		}},
+		{"double source", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			ctx.Source(1, testSource)
+			ctx.Source(1, testSource)
+			return ctx.Build()
+		}},
+		{"zero partitions", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			ctx.Source(0, testSource)
+			return ctx.Build()
+		}},
+		{"sink after shuffle finalize", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			s := ctx.Source(1, testSource)
+			s.CountByKeyAndWindow(time.Second, 1, Combine)
+			s.Sink(func(int64, int, []data.Record) {}) // sink on finalized stage
+			return ctx.Build()
+		}},
+		{"op after finalize", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			s := ctx.Source(1, testSource)
+			s.CountByKeyAndWindow(time.Second, 1, Combine)
+			s.Map(func(r data.Record) data.Record { return r })
+			return ctx.Build()
+		}},
+		{"nil sink", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			ctx.Source(1, testSource).Sink(nil)
+			return ctx.Build()
+		}},
+		{"missing sink", func() (*dag.Job, error) {
+			ctx := NewContext("p", time.Millisecond)
+			ctx.Source(1, testSource).CountByKeyAndWindow(time.Second, 1, Combine)
+			return ctx.Build() // terminal stage without sink is allowed? window without sink is valid dag-wise
+		}},
+	}
+	for _, c := range cases[:6] {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: Build succeeded", c.name)
+		}
+	}
+	// The last case is legal at the dag level (sinkless terminal stage).
+	if _, err := cases[6].build(); err != nil {
+		t.Errorf("sinkless pipeline rejected: %v", err)
+	}
+}
+
+func TestBuildTwiceFails(t *testing.T) {
+	ctx := NewContext("p", time.Millisecond)
+	ctx.Source(1, testSource).Sink(func(int64, int, []data.Record) {})
+	if _, err := ctx.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Build(); err == nil {
+		t.Fatal("second Build succeeded")
+	}
+}
+
+// TestPipelineEndToEnd runs a compiled pipeline on a real in-process
+// cluster and validates counts.
+func TestPipelineEndToEnd(t *testing.T) {
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
+	defer net.Close()
+	reg := engine.NewRegistry()
+	cfg := engine.DefaultConfig()
+	cfg.GroupSize = 4
+	driver := engine.NewDriver("driver", net, reg, cfg, nil)
+	if err := driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Stop()
+	for _, id := range []rpc.NodeID{"w0", "w1"} {
+		w := engine.NewWorker(id, "driver", net, reg, cfg)
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+		driver.AddWorker(id)
+	}
+
+	collect := NewCollectSink()
+	ctx := NewContext("pipe", 50*time.Millisecond)
+	ctx.Source(4, testSource).
+		Filter(func(r data.Record) bool { return r.Key != 2 }).
+		CountByKeyAndWindow(200*time.Millisecond, 2, Combine).
+		Sink(collect.Fn())
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("pipe", job); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := driver.Run("pipe", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute the expected (window, key) -> count reference sequentially,
+	// keeping only windows closed by the end of the run.
+	interval := int64(job.Interval)
+	win := *job.Stages[1].Window
+	want := make(map[[2]int64]int64)
+	for b := int64(0); b < 8; b++ {
+		for p := 0; p < 4; p++ {
+			info := dag.BatchInfo{
+				Batch: b, Partition: p,
+				Start: stats.StartNanos + b*interval,
+				End:   stats.StartNanos + (b+1)*interval,
+			}
+			for _, r := range job.Stages[0].ApplyOps(testSource(info)) {
+				want[[2]int64{win.Assign(r.Time), int64(r.Key)}] += r.Val
+			}
+		}
+	}
+	lastClose := stats.StartNanos + 8*interval
+	for k := range want {
+		if k[0]+int64(win.Size) > lastClose {
+			delete(want, k)
+		}
+	}
+	results := collect.Results()
+	if len(results) == 0 || len(want) == 0 {
+		t.Fatalf("no windows emitted (got %d, want %d)", len(results), len(want))
+	}
+	for k, v := range want {
+		if results[k] != v {
+			t.Fatalf("window %d key %d: got %d want %d", k[0], k[1], results[k], v)
+		}
+	}
+	for k := range results {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("unexpected emission window %d key %d", k[0], k[1])
+		}
+		if k[1] == 2 {
+			t.Fatal("filtered key 2 leaked")
+		}
+	}
+}
+
+func TestLatencySink(t *testing.T) {
+	hist := metrics.NewHistogram()
+	series := metrics.NewTimeSeries()
+	start := time.Now()
+	sink := NewLatencySink(hist, series, start)
+	fn := sink.Fn(100 * time.Millisecond)
+
+	// A window that ended 50ms ago yields ~50ms latency.
+	wStart := time.Now().Add(-150 * time.Millisecond).UnixNano()
+	fn(0, 0, []data.Record{{Key: 1, Val: 10, Time: wStart}})
+	if hist.Count() != 1 {
+		t.Fatalf("histogram has %d samples", hist.Count())
+	}
+	if lat := hist.Max(); lat < 40 || lat > 500 {
+		t.Fatalf("latency %vms implausible", lat)
+	}
+	if series.Len() != 1 {
+		t.Fatal("series not recorded")
+	}
+	if len(sink.WindowLatencies()) != 1 {
+		t.Fatal("per-window latency not recorded")
+	}
+}
+
+func TestLatencySinkChains(t *testing.T) {
+	hist := metrics.NewHistogram()
+	called := false
+	sink := NewLatencySink(hist, nil, time.Now()).Chain(func(int64, int, []data.Record) { called = true })
+	sink.Fn(time.Millisecond)(0, 0, []data.Record{{Key: 1}})
+	if !called {
+		t.Fatal("chained sink not invoked")
+	}
+}
+
+func TestCollectSinkLastWriteWins(t *testing.T) {
+	c := NewCollectSink()
+	fn := c.Fn()
+	fn(0, 0, []data.Record{{Key: 1, Val: 5, Time: 100}})
+	fn(1, 0, []data.Record{{Key: 1, Val: 5, Time: 100}}) // duplicate emission
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5 (duplicates must overwrite)", c.Total())
+	}
+}

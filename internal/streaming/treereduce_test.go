@@ -1,0 +1,150 @@
+package streaming
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/engine"
+	"drizzle/internal/rpc"
+)
+
+// TestTreeReduceTopology verifies the compiled stage chain: 16 partitions
+// with fan-in 4 become 16 -> 4 -> 1 with structured shuffles.
+func TestTreeReduceTopology(t *testing.T) {
+	ctx := NewContext("tree", 50*time.Millisecond)
+	ctx.Source(16, testSource).
+		TreeReduce(dag.Sum, 4).
+		Sink(func(int64, int, []data.Record) {})
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Stages) != 3 {
+		t.Fatalf("compiled %d stages, want 3 (16 -> 4 -> 1)", len(job.Stages))
+	}
+	widths := []int{16, 4, 1}
+	for i, w := range widths {
+		if job.Stages[i].NumPartitions != w {
+			t.Fatalf("stage %d width %d, want %d", i, job.Stages[i].NumPartitions, w)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		sh := job.Stages[i].Shuffle
+		if sh == nil || sh.Structure == nil || sh.Structure.FanIn != 4 {
+			t.Fatalf("stage %d missing tree structure: %+v", i, sh)
+		}
+		if !sh.Combine {
+			t.Fatalf("tree stage %d does not combine", i)
+		}
+	}
+	if job.Stages[2].Reduce == nil || job.Stages[2].Window != nil {
+		t.Fatal("terminal tree stage must be a per-batch reduce")
+	}
+}
+
+func TestTreeReduceErrors(t *testing.T) {
+	ctx := NewContext("tree", 50*time.Millisecond)
+	ctx.Source(4, testSource).TreeReduce(nil, 4)
+	if _, err := ctx.Build(); err == nil {
+		t.Fatal("nil reduce accepted")
+	}
+	ctx2 := NewContext("tree2", 50*time.Millisecond)
+	ctx2.Source(4, testSource).TreeReduce(dag.Sum, 1)
+	if _, err := ctx2.Build(); err == nil {
+		t.Fatal("fan-in 1 accepted")
+	}
+}
+
+// TestTreeReduceEndToEnd runs a tree aggregation on a real cluster and
+// verifies the global per-batch sums are exact.
+func TestTreeReduceEndToEnd(t *testing.T) {
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
+	defer net.Close()
+	reg := engine.NewRegistry()
+	cfg := engine.DefaultConfig()
+	cfg.GroupSize = 3
+	driver := engine.NewDriver("driver", net, reg, cfg, nil)
+	if err := driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Stop()
+	for _, id := range []rpc.NodeID{"w0", "w1", "w2"} {
+		w := engine.NewWorker(id, "driver", net, reg, cfg)
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+		driver.AddWorker(id)
+	}
+
+	// Each of 8 source partitions emits values 1..5 under a single key:
+	// the global sum per batch is 8 * 15 = 120.
+	src := func(b dag.BatchInfo) []data.Record {
+		recs := make([]data.Record, 5)
+		for i := range recs {
+			recs[i] = data.Record{Key: 7, Val: int64(i + 1), Time: b.Start}
+		}
+		return recs
+	}
+	var mu sync.Mutex
+	perBatch := map[int64]int64{}
+	sink := func(batch int64, _ int, out []data.Record) {
+		mu.Lock()
+		for _, r := range out {
+			perBatch[batch] += r.Val
+		}
+		mu.Unlock()
+	}
+	ctx := NewContext("tree", 50*time.Millisecond)
+	ctx.Source(8, src).TreeReduce(dag.Sum, 2).Sink(sink)
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 -> 4 -> 2 -> 1: four stages.
+	if len(job.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(job.Stages))
+	}
+	if err := reg.Register("tree", job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := driver.Run("tree", 6); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perBatch) != 6 {
+		t.Fatalf("got sums for %d batches, want 6: %v", len(perBatch), perBatch)
+	}
+	for b, sum := range perBatch {
+		if sum != 120 {
+			t.Fatalf("batch %d sum = %d, want 120", b, sum)
+		}
+	}
+}
+
+// TestTreeReduceDependencyNarrowing checks §3.6's point: a structured
+// consumer waits on fan-in upstream outputs, not all of them.
+func TestTreeReduceDependencyNarrowing(t *testing.T) {
+	ctx := NewContext("tree", 50*time.Millisecond)
+	ctx.Source(16, testSource).TreeReduce(dag.Sum, 4).Sink(func(int64, int, []data.Record) {})
+	job, err := ctx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = job
+	// Stage 1 partition 2 must depend on exactly source partitions 8..11.
+	// (Planner dependency narrowing is asserted via internal/core tests;
+	// here we verify the structure arithmetic used by both.)
+	st := job.Stages[0].Shuffle.Structure
+	lo, hi := st.Producers(2, 16)
+	if lo != 8 || hi != 12 {
+		t.Fatalf("Producers(2) = [%d,%d), want [8,12)", lo, hi)
+	}
+	if st.Consumer(9) != 2 {
+		t.Fatalf("Consumer(9) = %d, want 2", st.Consumer(9))
+	}
+}

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table 2 reproduction (§3.5): the paper analyzes >900,000 SQL and
+// streaming queries from a cloud analytics provider and reports how often
+// each aggregate class appears among aggregation queries, motivating
+// map-side partial aggregation (over 95% of aggregates support partial
+// merge). The trace is proprietary, so we substitute a synthetic corpus
+// whose marginals match the published distribution and run it through a
+// real tokenizer/classifier — the code path (parse, classify, tally) is
+// what is exercised; the corpus is synthetic (see DESIGN.md).
+
+// AggClass is the aggregate taxonomy of Table 2.
+type AggClass int
+
+const (
+	AggNone AggClass = iota
+	AggCount
+	AggFirstLast
+	AggSumMinMax
+	AggUDF
+	AggOther
+)
+
+// String implements fmt.Stringer with the paper's row labels.
+func (a AggClass) String() string {
+	switch a {
+	case AggCount:
+		return "Count"
+	case AggFirstLast:
+		return "First/Last"
+	case AggSumMinMax:
+		return "Sum/Min/Max"
+	case AggUDF:
+		return "User Defined Function"
+	case AggOther:
+		return "Other"
+	default:
+		return "None"
+	}
+}
+
+// PartialMergeable reports whether the class supports partial merge
+// (distributed combining). "Other" covers complete aggregations such as
+// median that require all data on one node.
+func (a AggClass) PartialMergeable() bool {
+	switch a {
+	case AggCount, AggFirstLast, AggSumMinMax, AggUDF:
+		return true
+	default:
+		return false
+	}
+}
+
+// paperTable2 is the published distribution: share of aggregation queries
+// per class (the extraction of the paper text garbled some cells; these
+// are the values reported in the published Table 2).
+var paperTable2 = map[AggClass]float64{
+	AggCount:     45.4,
+	AggFirstLast: 25.9,
+	AggSumMinMax: 14.6,
+	AggUDF:       13.5,
+	AggOther:     0.6,
+}
+
+// aggregationQueryShare is the fraction of all queries that use at least
+// one aggregate ("around 25%" in §3.5).
+const aggregationQueryShare = 0.25
+
+// QueryCorpus generates n synthetic SQL queries whose aggregate usage
+// matches the published distribution, deterministically from seed.
+func QueryCorpus(n int, seed uint64) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		h := mix(uint64(i)*2654435761 + seed)
+		out = append(out, synthesizeQuery(h))
+	}
+	return out
+}
+
+var tables = [...]string{"events", "sessions", "clicks", "orders", "metrics"}
+var columns = [...]string{"value", "amount", "duration", "score", "bytes"}
+
+func synthesizeQuery(h uint64) string {
+	tbl := tables[h%uint64(len(tables))]
+	col := columns[(h>>8)%uint64(len(columns))]
+	// 25% of queries aggregate.
+	if float64((h>>16)&1023)/1024 >= aggregationQueryShare {
+		switch (h >> 26) % 3 {
+		case 0:
+			return fmt.Sprintf("SELECT %s FROM %s WHERE %s > %d", col, tbl, col, h%1000)
+		case 1:
+			return fmt.Sprintf("SELECT * FROM %s ORDER BY %s LIMIT %d", tbl, col, 10+h%90)
+		default:
+			return fmt.Sprintf("SELECT a.%s, b.%s FROM %s a JOIN %s b ON a.id = b.id",
+				col, col, tbl, tables[(h>>32)%uint64(len(tables))])
+		}
+	}
+	// Aggregation query: pick the class per the published distribution.
+	u := float64((h>>36)&0xFFFFF) / float64(1<<20) * 100
+	var expr string
+	switch {
+	case u < paperTable2[AggCount]:
+		expr = "COUNT(" + pick(h, "*", col, "DISTINCT "+col) + ")"
+	case u < paperTable2[AggCount]+paperTable2[AggFirstLast]:
+		expr = pick(h, "FIRST", "LAST") + "(" + col + ")"
+	case u < paperTable2[AggCount]+paperTable2[AggFirstLast]+paperTable2[AggSumMinMax]:
+		expr = pick(h, "SUM", "MIN", "MAX") + "(" + col + ")"
+	case u < paperTable2[AggCount]+paperTable2[AggFirstLast]+paperTable2[AggSumMinMax]+paperTable2[AggUDF]:
+		expr = "my_udaf_" + pick(h, "v1", "score", "norm") + "(" + col + ")"
+	default:
+		expr = pick(h, "MEDIAN", "PERCENTILE") + "(" + col + ")"
+	}
+	return fmt.Sprintf("SELECT %s, %s FROM %s GROUP BY %s", tbl+".key", expr, tbl, tbl+".key")
+}
+
+func pick(h uint64, opts ...string) string {
+	return opts[(h>>48)%uint64(len(opts))]
+}
+
+// builtinAggregates maps SQL function names to their class.
+var builtinAggregates = map[string]AggClass{
+	"COUNT": AggCount, "FIRST": AggFirstLast, "LAST": AggFirstLast,
+	"SUM": AggSumMinMax, "MIN": AggSumMinMax, "MAX": AggSumMinMax,
+	"AVG": AggSumMinMax, "MEDIAN": AggOther, "PERCENTILE": AggOther,
+}
+
+// ClassifyQuery tokenizes one SQL query and returns the classes of the
+// aggregate calls it contains (empty if none). Function calls are
+// recognized as IDENT immediately followed by '('; udaf-prefixed names are
+// classified as user-defined functions.
+func ClassifyQuery(q string) []AggClass {
+	var out []AggClass
+	i, n := 0, len(q)
+	for i < n {
+		c := q[i]
+		if !isIdentStart(c) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && isIdentPart(q[j]) {
+			j++
+		}
+		word := q[i:j]
+		// Function call?
+		k := j
+		for k < n && q[k] == ' ' {
+			k++
+		}
+		if k < n && q[k] == '(' {
+			upper := strings.ToUpper(word)
+			if cls, ok := builtinAggregates[upper]; ok {
+				out = append(out, cls)
+			} else if strings.HasPrefix(strings.ToLower(word), "my_udaf_") {
+				out = append(out, AggUDF)
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// QueryAnalysis is the Table 2 output.
+type QueryAnalysis struct {
+	Total             int
+	WithAggregates    int
+	ClassCounts       map[AggClass]int
+	PartialMergeShare float64 // of aggregation queries, fraction using only partial-merge aggregates
+}
+
+// AnalyzeQueries classifies a corpus and tallies the Table 2 statistics.
+func AnalyzeQueries(corpus []string) QueryAnalysis {
+	qa := QueryAnalysis{Total: len(corpus), ClassCounts: make(map[AggClass]int)}
+	partialOnly := 0
+	for _, q := range corpus {
+		classes := ClassifyQuery(q)
+		if len(classes) == 0 {
+			continue
+		}
+		qa.WithAggregates++
+		allPartial := true
+		for _, c := range classes {
+			qa.ClassCounts[c]++
+			allPartial = allPartial && c.PartialMergeable()
+		}
+		if allPartial {
+			partialOnly++
+		}
+	}
+	if qa.WithAggregates > 0 {
+		qa.PartialMergeShare = float64(partialOnly) / float64(qa.WithAggregates)
+	}
+	return qa
+}
+
+// Table2Rows formats the analysis as the paper's table: percentage of
+// aggregation queries per class, ordered as published.
+func (qa QueryAnalysis) Table2Rows() []string {
+	order := []AggClass{AggCount, AggFirstLast, AggSumMinMax, AggUDF, AggOther}
+	totalAggs := 0
+	for _, c := range order {
+		totalAggs += qa.ClassCounts[c]
+	}
+	rows := make([]string, 0, len(order))
+	for _, c := range order {
+		pct := 0.0
+		if totalAggs > 0 {
+			pct = float64(qa.ClassCounts[c]) / float64(totalAggs) * 100
+		}
+		rows = append(rows, fmt.Sprintf("%-22s %5.1f", c, pct))
+	}
+	return rows
+}
+
+// PaperTable2 exposes the published distribution for comparison output.
+func PaperTable2() []string {
+	order := []AggClass{AggCount, AggFirstLast, AggSumMinMax, AggUDF, AggOther}
+	rows := make([]string, 0, len(order))
+	for _, c := range order {
+		rows = append(rows, fmt.Sprintf("%-22s %5.1f", c, paperTable2[c]))
+	}
+	return rows
+}
+
+// ClassShares returns the measured per-class percentages (of aggregation
+// queries), sorted by class for deterministic iteration.
+func (qa QueryAnalysis) ClassShares() map[AggClass]float64 {
+	total := 0
+	var classes []AggClass
+	for c, n := range qa.ClassCounts {
+		total += n
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make(map[AggClass]float64, len(classes))
+	for _, c := range classes {
+		out[c] = float64(qa.ClassCounts[c]) / float64(total) * 100
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+// Package workload implements the paper's evaluation workloads:
+//
+//   - The Yahoo streaming benchmark (§5.3): JSON ad events filtered to
+//     views, joined to their campaign, counted per campaign over 10-second
+//     tumbling windows.
+//   - The video-session analytics workload (§5.3, Figure 9): larger JSON
+//     heartbeats with Zipf-skewed session keys.
+//   - The cloud query-trace analysis behind Table 2 (§3.5): a synthetic SQL
+//     corpus matching the reported aggregate distribution, classified by a
+//     real parser.
+//   - The sum-of-random-numbers microbenchmark used by the weak-scaling
+//     experiments (§5.2).
+//
+// All generators are pure functions of (partition, time range, seed), the
+// replayability contract recovery depends on, and every workload exposes
+// both the micro-batch (dag.SourceFunc) and continuous (GenFunc) shapes so
+// the same bytes flow through every engine under comparison.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+)
+
+// YahooConfig parameterizes the ad-analytics benchmark.
+type YahooConfig struct {
+	// Campaigns is the number of ad campaigns (paper setup: 100).
+	Campaigns int
+	// AdsPerCampaign is the ads-per-campaign fan-in of the join (10).
+	AdsPerCampaign int
+	// EventsPerSecPerPartition is the generation rate of one source
+	// partition.
+	EventsPerSecPerPartition int
+	// WindowSize is the tumbling window (paper: 10 s; scaled down in
+	// laptop experiments).
+	WindowSize time.Duration
+	// Seed makes the event stream deterministic.
+	Seed uint64
+}
+
+// DefaultYahooConfig mirrors the benchmark's published shape at laptop
+// scale.
+func DefaultYahooConfig() YahooConfig {
+	return YahooConfig{
+		Campaigns:                100,
+		AdsPerCampaign:           10,
+		EventsPerSecPerPartition: 10000,
+		WindowSize:               time.Second,
+		Seed:                     1,
+	}
+}
+
+// Yahoo is an instance of the benchmark: the static ad→campaign table plus
+// the deterministic event generator.
+type Yahoo struct {
+	cfg       YahooConfig
+	adIDs     []string // adIDs[i] belongs to campaign i / AdsPerCampaign
+	adToCamp  map[string]uint64
+	campNames []string
+	dict      *data.Dictionary
+}
+
+// NewYahoo builds the campaign/ad tables.
+func NewYahoo(cfg YahooConfig) *Yahoo {
+	if cfg.Campaigns <= 0 || cfg.AdsPerCampaign <= 0 {
+		panic("workload: yahoo needs positive campaign/ad counts")
+	}
+	y := &Yahoo{
+		cfg:      cfg,
+		adToCamp: make(map[string]uint64),
+		dict:     data.NewDictionary(),
+	}
+	for c := 0; c < cfg.Campaigns; c++ {
+		camp := fmt.Sprintf("campaign-%04d", c)
+		campHash := y.dict.Add(camp)
+		y.campNames = append(y.campNames, camp)
+		for a := 0; a < cfg.AdsPerCampaign; a++ {
+			ad := fmt.Sprintf("ad-%04d-%02d", c, a)
+			y.adIDs = append(y.adIDs, ad)
+			y.adToCamp[ad] = campHash
+		}
+	}
+	return y
+}
+
+// Dictionary exposes the campaign-name dictionary for sinks.
+func (y *Yahoo) Dictionary() *data.Dictionary { return y.dict }
+
+// CampaignName resolves a campaign key hash.
+func (y *Yahoo) CampaignName(h uint64) (string, bool) { return y.dict.Lookup(h) }
+
+var eventTypes = [3]string{"view", "click", "purchase"}
+
+// mix is a splitmix64-style hash used to derive per-event attributes.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Gen produces the JSON ad events of one partition with event times in
+// [from, to) — the continuous-engine GenFunc shape. Each record's Payload
+// is the JSON document; Key/Val are unset until parsing.
+func (y *Yahoo) Gen(partition int, from, to int64) []data.Record {
+	if to <= from {
+		return nil
+	}
+	span := to - from
+	n := int(int64(y.cfg.EventsPerSecPerPartition) * span / int64(time.Second))
+	recs := make([]data.Record, 0, n)
+	for i := 0; i < n; i++ {
+		at := from + int64(i)*span/int64(n)
+		h := mix(uint64(at) ^ mix(uint64(partition)+y.cfg.Seed))
+		ad := y.adIDs[h%uint64(len(y.adIDs))]
+		etype := eventTypes[(h>>32)%3]
+		payload := y.marshalEvent(h, ad, etype, at)
+		recs = append(recs, data.Record{Time: at, Payload: payload})
+	}
+	return recs
+}
+
+// SourceFunc adapts Gen to the micro-batch engine.
+func (y *Yahoo) SourceFunc() dag.SourceFunc {
+	return func(b dag.BatchInfo) []data.Record {
+		return y.Gen(b.Partition, b.Start, b.End)
+	}
+}
+
+// marshalEvent renders the benchmark's JSON document. Hand-rolled to keep
+// generation cheap relative to parsing (generation is the harness, parsing
+// is the system under test).
+func (y *Yahoo) marshalEvent(h uint64, ad, etype string, at int64) []byte {
+	buf := make([]byte, 0, 224)
+	buf = append(buf, `{"user_id":"user-`...)
+	buf = strconv.AppendUint(buf, h%100000, 10)
+	buf = append(buf, `","page_id":"page-`...)
+	buf = strconv.AppendUint(buf, (h>>16)%1000, 10)
+	buf = append(buf, `","ad_id":"`...)
+	buf = append(buf, ad...)
+	buf = append(buf, `","ad_type":"banner","event_type":"`...)
+	buf = append(buf, etype...)
+	buf = append(buf, `","event_time":`...)
+	buf = strconv.AppendInt(buf, at, 10)
+	buf = append(buf, `,"ip_address":"10.`...)
+	buf = strconv.AppendUint(buf, (h>>40)&255, 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, (h>>48)&255, 10)
+	buf = append(buf, `.1"}`...)
+	return buf
+}
+
+// ParseFilterJoinOp returns the narrow-operator chain of the benchmark as a
+// single fused op: parse JSON, keep views, project (ad, time), and join the
+// ad to its campaign. The result records carry Key=campaign hash, Val=1 and
+// the original event time, ready for windowed counting.
+func (y *Yahoo) ParseFilterJoinOp() dag.NarrowOp {
+	return func(in []data.Record) []data.Record {
+		out := in[:0]
+		for _, r := range in {
+			ev, ok := parseAdEvent(r.Payload)
+			if !ok || ev.eventType != "view" {
+				continue
+			}
+			camp, ok := y.adToCamp[ev.adID]
+			if !ok {
+				continue
+			}
+			out = append(out, data.Record{Key: camp, Val: 1, Time: ev.eventTime})
+		}
+		return out
+	}
+}
+
+// adEvent is the projection of the JSON document the pipeline needs.
+type adEvent struct {
+	adID      string
+	eventType string
+	eventTime int64
+}
+
+// parseAdEvent extracts ad_id, event_type and event_time from the JSON
+// document with a purpose-built scanner: the benchmark measures the cost of
+// deserialization on the critical path, so the parser is real (validates
+// structure, handles arbitrary field order) but does not build a generic
+// document tree.
+func parseAdEvent(b []byte) (adEvent, bool) {
+	var ev adEvent
+	var seen int
+	i := 0
+	n := len(b)
+	if n == 0 || b[0] != '{' {
+		return ev, false
+	}
+	i = 1
+	for i < n {
+		// Find key.
+		for i < n && (b[i] == ',' || b[i] == ' ') {
+			i++
+		}
+		if i < n && b[i] == '}' {
+			break
+		}
+		if i >= n || b[i] != '"' {
+			return ev, false
+		}
+		keyStart := i + 1
+		j := keyStart
+		for j < n && b[j] != '"' {
+			j++
+		}
+		if j >= n {
+			return ev, false
+		}
+		key := b[keyStart:j]
+		i = j + 1
+		if i >= n || b[i] != ':' {
+			return ev, false
+		}
+		i++
+		// Parse value (string or number).
+		if i < n && b[i] == '"' {
+			valStart := i + 1
+			j = valStart
+			for j < n && b[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return ev, false
+			}
+			switch string(key) {
+			case "ad_id":
+				ev.adID = string(b[valStart:j])
+				seen++
+			case "event_type":
+				ev.eventType = string(b[valStart:j])
+				seen++
+			}
+			i = j + 1
+		} else {
+			j = i
+			for j < n && b[j] != ',' && b[j] != '}' {
+				j++
+			}
+			if string(key) == "event_time" {
+				v, err := strconv.ParseInt(string(b[i:j]), 10, 64)
+				if err != nil {
+					return ev, false
+				}
+				ev.eventTime = v
+				seen++
+			}
+			i = j
+		}
+	}
+	return ev, seen == 3
+}
+
+// WindowSize returns the configured tumbling window.
+func (y *Yahoo) WindowSize() time.Duration { return y.cfg.WindowSize }
+
+// ExpectedViewCounts computes the reference per-(window, campaign) counts
+// for the records generated across the given partitions and time range, by
+// running the same generator + operator chain sequentially.
+func (y *Yahoo) ExpectedViewCounts(partitions int, from, to int64) map[[2]int64]int64 {
+	op := y.ParseFilterJoinOp()
+	win := dag.WindowSpec{Size: y.cfg.WindowSize}
+	out := make(map[[2]int64]int64)
+	for p := 0; p < partitions; p++ {
+		for _, r := range op(y.Gen(p, from, to)) {
+			out[[2]int64{win.Assign(r.Time), int64(r.Key)}] += r.Val
+		}
+	}
+	return out
+}
