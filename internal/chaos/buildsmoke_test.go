@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBinariesCompile build-checks every main package under cmd/ and
+// examples/ so the demo programs cannot silently rot — none of them have
+// runtime coverage, but at minimum they must keep compiling against the
+// engine APIs they showcase.
+func TestBinariesCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping compile smoke test in -short mode")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	for _, dir := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatalf("reading %s/: %v", dir, err)
+		}
+		found := 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			found++
+			pkg := "./" + dir + "/" + e.Name()
+			t.Run(pkg, func(t *testing.T) {
+				t.Parallel()
+				// -o to a discarded path: build, don't install.
+				cmd := exec.Command("go", "build", "-o", os.DevNull, pkg)
+				cmd.Dir = root
+				if out, err := cmd.CombinedOutput(); err != nil {
+					t.Errorf("go build %s failed: %v\n%s", pkg, err, out)
+				}
+			})
+		}
+		if found == 0 {
+			t.Errorf("no packages found under %s/ — smoke test is vacuous", dir)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,396 @@
+// Package chaos is the deterministic fault-injection harness for the
+// engine. A Scenario describes a windowed streaming job, a set of
+// probabilistic link faults (rpc.FaultPlan rules), and a timeline of
+// structural events (worker kills, late joins, one-way partitions). Run
+// executes the scenario on a real driver + workers over the in-memory
+// transport and checks the outcome against a sequential oracle:
+//
+//   - every window that closed during the run has exactly the sum a
+//     single-threaded reference execution produces (no lost and no
+//     double-counted micro-batches),
+//   - the idempotent sink never sees two different values for the same
+//     (window, key) — the exactly-once-by-idempotence contract,
+//   - checkpoint watermarks stored by the driver never move backwards.
+//
+// All randomness — the fault dice, the network jitter, and the scenario
+// generator in random.go — derives from Scenario.Seed, so a failing run is
+// reproduced by re-running with the seed the test failure prints.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"drizzle/internal/engine"
+	"drizzle/internal/rpc"
+)
+
+// jobName is the registry name of the chaos job; each Run uses a fresh
+// Registry so runs can never satisfy each other's dependencies.
+const jobName = "chaos-window-count"
+
+// EventKind enumerates the structural events a scenario can script.
+type EventKind int
+
+const (
+	// EventKillWorker fails the worker at the network (all its traffic is
+	// dropped) and stops its process — a machine death.
+	EventKillWorker EventKind = iota
+	// EventAddWorker starts a fresh worker and admits it; it joins at the
+	// next group boundary (late recovery / elasticity).
+	EventAddWorker
+	// EventBlock installs a one-way partition From -> To ("" wildcards).
+	EventBlock
+	// EventUnblock removes a one-way partition installed by EventBlock.
+	EventUnblock
+	// EventHealAll clears every probabilistic rule and every partition;
+	// scenarios schedule it late in the run so recovery can converge.
+	EventHealAll
+)
+
+// Event is one scripted structural change, fired At after the run starts.
+type Event struct {
+	At       time.Duration
+	Kind     EventKind
+	Node     rpc.NodeID // EventKillWorker / EventAddWorker target
+	From, To rpc.NodeID // EventBlock / EventUnblock link
+}
+
+// Scenario fully describes one chaos run. The zero value of most fields is
+// replaced by withDefaults; Seed should always be set explicitly because it
+// is the reproduction handle.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	Mode            engine.Mode
+	Workers         int
+	SlotsPerWorker  int
+	MapParts        int
+	ReduceParts     int
+	Batches         int
+	GroupSize       int
+	CheckpointEvery int
+	// Interval is the micro-batch interval; the window size is
+	// WindowBatches * Interval so windows always close on batch boundaries.
+	Interval      time.Duration
+	WindowBatches int
+	NumKeys       int
+	Repeats       int
+	// MaxTaskAttempts is raised well above the engine default because fault
+	// rules make individual attempts fail routinely; exhausting it aborts
+	// the run and is reported as a violation.
+	MaxTaskAttempts int
+
+	// Rules are installed on the FaultPlan before the run starts and stay
+	// active until cleared by an EventHealAll.
+	Rules []rpc.LinkFault
+	// Events fire in At order on a dedicated goroutine.
+	Events []Event
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Workers <= 0 {
+		sc.Workers = 3
+	}
+	if sc.SlotsPerWorker <= 0 {
+		sc.SlotsPerWorker = 4
+	}
+	if sc.MapParts <= 0 {
+		sc.MapParts = 4
+	}
+	if sc.ReduceParts <= 0 {
+		sc.ReduceParts = 2
+	}
+	if sc.Batches <= 0 {
+		sc.Batches = 12
+	}
+	if sc.GroupSize <= 0 {
+		sc.GroupSize = 3
+	}
+	if sc.CheckpointEvery <= 0 {
+		sc.CheckpointEvery = 1
+	}
+	if sc.Interval <= 0 {
+		sc.Interval = 40 * time.Millisecond
+	}
+	if sc.WindowBatches <= 0 {
+		sc.WindowBatches = 4
+	}
+	if sc.NumKeys <= 0 {
+		sc.NumKeys = 5
+	}
+	if sc.Repeats <= 0 {
+		sc.Repeats = 2
+	}
+	if sc.MaxTaskAttempts <= 0 {
+		sc.MaxTaskAttempts = 30
+	}
+	return sc
+}
+
+// engineConfig maps the scenario onto a cluster config tuned for fast
+// failure detection and retry, so runs converge within the wall deadline
+// even when the tail of the run has to repair fault-era damage.
+func (sc Scenario) engineConfig() engine.Config {
+	return engine.Config{
+		Mode:              sc.Mode,
+		GroupSize:         sc.GroupSize,
+		SlotsPerWorker:    sc.SlotsPerWorker,
+		CheckpointEvery:   sc.CheckpointEvery,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  160 * time.Millisecond,
+		FetchTimeout:      250 * time.Millisecond,
+		StallResend:       700 * time.Millisecond,
+		MaxTaskAttempts:   sc.MaxTaskAttempts,
+		RetryDelay:        40 * time.Millisecond,
+	}
+}
+
+// span is the nominal streaming duration: the wall time the batches cover.
+func (sc Scenario) span() time.Duration {
+	return time.Duration(sc.Batches) * sc.Interval
+}
+
+// wallDeadline bounds the run: nominal span, plus up to one window of start
+// alignment, plus generous slack for recovery tails under -race.
+func (sc Scenario) wallDeadline() time.Duration {
+	return sc.span() + time.Duration(sc.WindowBatches)*sc.Interval + 15*time.Second
+}
+
+// Report is the outcome of one Run. Violations is empty iff every oracle
+// invariant held.
+type Report struct {
+	Scenario Scenario
+	Stats    *engine.RunStats
+	Faults   rpc.FaultStatsSnapshot
+	Killed   []rpc.NodeID
+	Added    []rpc.NodeID
+	// Windows is the number of distinct (window, key) results the sink saw.
+	Windows int
+	// CheckpointPuts counts snapshots the driver persisted.
+	CheckpointPuts int64
+	Violations     []string
+}
+
+func (r *Report) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Err returns nil when every invariant held, or an error naming the seed
+// that reproduces the failing run.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos: seed %d (%s): %d invariant violation(s):\n  - %s",
+		r.Scenario.Seed, r.Scenario.Name, len(r.Violations),
+		strings.Join(r.Violations, "\n  - "))
+}
+
+// Summary is a one-line human description of the run, for verbose test
+// output.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("seed=%d mode=%v workers=%d batches=%d killed=%d added=%d windows=%d faults={drop=%d dup=%d reorder=%d delay=%d block=%d}",
+		r.Scenario.Seed, r.Scenario.Mode, r.Scenario.Workers, r.Scenario.Batches,
+		len(r.Killed), len(r.Added), r.Windows,
+		r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Reordered, r.Faults.Delayed, r.Faults.Blocked)
+	if r.Stats != nil {
+		s += fmt.Sprintf(" wall=%v failures=%d resubmits=%d", r.Stats.Wall.Round(time.Millisecond), r.Stats.Failures, r.Stats.Resubmits)
+	}
+	return s
+}
+
+// cluster owns the driver, workers, network and fault plan for one run.
+// The event goroutine mutates it concurrently with final cleanup, hence
+// the mutex around the worker map.
+type cluster struct {
+	mu      sync.Mutex
+	net     *rpc.InMemNetwork
+	reg     *engine.Registry
+	cfg     engine.Config
+	plan    *rpc.FaultPlan
+	driver  *engine.Driver
+	workers map[rpc.NodeID]*engine.Worker
+	stopped []*engine.Worker
+}
+
+func (c *cluster) add(id rpc.NodeID) error {
+	w := engine.NewWorker(id, "driver", c.net, c.reg, c.cfg)
+	if err := w.Start(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.workers[id] = w
+	c.mu.Unlock()
+	c.driver.AddWorker(id)
+	return nil
+}
+
+func (c *cluster) apply(ev Event, rep *Report) {
+	switch ev.Kind {
+	case EventKillWorker:
+		c.mu.Lock()
+		w, ok := c.workers[ev.Node]
+		if ok {
+			delete(c.workers, ev.Node)
+			c.stopped = append(c.stopped, w)
+		}
+		c.mu.Unlock()
+		if ok {
+			c.net.Fail(ev.Node)
+			// Stop blocks on in-flight slot tasks; the network already
+			// drops the node's traffic, so the wind-down is invisible.
+			go w.Stop()
+			rep.Killed = append(rep.Killed, ev.Node)
+		}
+	case EventAddWorker:
+		if err := c.add(ev.Node); err == nil {
+			rep.Added = append(rep.Added, ev.Node)
+		}
+	case EventBlock:
+		c.plan.Block(ev.From, ev.To)
+	case EventUnblock:
+		c.plan.Unblock(ev.From, ev.To)
+	case EventHealAll:
+		c.plan.ClearRules()
+		c.plan.UnblockAll()
+	}
+}
+
+func (c *cluster) stopAll() {
+	c.mu.Lock()
+	ws := make([]*engine.Worker, 0, len(c.workers)+len(c.stopped))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	ws = append(ws, c.stopped...)
+	c.mu.Unlock()
+	for _, w := range ws {
+		w.Stop()
+	}
+}
+
+// Run executes one scenario end to end and returns its report. It never
+// calls testing APIs so it can be driven from tests, benchmarks, or a
+// future cmd/ chaos binary alike.
+func Run(sc Scenario) *Report {
+	sc = sc.withDefaults()
+	rep := &Report{Scenario: sc}
+
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{
+		Latency: 200 * time.Microsecond,
+		Jitter:  100 * time.Microsecond,
+		Seed:    sc.Seed,
+	})
+	plan := rpc.NewFaultPlan(sc.Seed)
+	for _, r := range sc.Rules {
+		plan.AddRule(r)
+	}
+	net.SetFaultPlan(plan)
+
+	reg := engine.NewRegistry()
+	sink := newOracleSink()
+	if err := reg.Register(jobName, windowJob(sc, sink)); err != nil {
+		rep.violatef("register job: %v", err)
+		return rep
+	}
+
+	store := newWatermarkStore()
+	cfg := sc.engineConfig()
+	driver := engine.NewDriver("driver", net, reg, cfg, store)
+	if err := driver.Start(); err != nil {
+		rep.violatef("start driver: %v", err)
+		return rep
+	}
+	cl := &cluster{
+		net: net, reg: reg, cfg: cfg, plan: plan, driver: driver,
+		workers: make(map[rpc.NodeID]*engine.Worker),
+	}
+	for i := 0; i < sc.Workers; i++ {
+		if err := cl.add(rpc.NodeID(fmt.Sprintf("w%d", i))); err != nil {
+			rep.violatef("start worker %d: %v", i, err)
+			return rep
+		}
+	}
+
+	events := append([]Event(nil), sc.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	done := make(chan struct{})
+	var stats *engine.RunStats
+	var runErr error
+	go func() {
+		defer close(done)
+		stats, runErr = driver.Run(jobName, sc.Batches)
+	}()
+
+	stopEvents := make(chan struct{})
+	var evWG sync.WaitGroup
+	evWG.Add(1)
+	go func() {
+		defer evWG.Done()
+		start := time.Now()
+		for _, ev := range events {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-stopEvents:
+					return
+				}
+			}
+			select {
+			case <-stopEvents:
+				return
+			default:
+			}
+			cl.apply(ev, rep)
+		}
+	}()
+
+	deadline := sc.wallDeadline()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		rep.violatef("run exceeded wall deadline %v: progress stalled (lost completion or livelock)", deadline)
+		driver.Stop()
+		<-done
+	}
+	close(stopEvents)
+	evWG.Wait()
+	driver.Stop()
+	cl.stopAll()
+	net.Close()
+
+	rep.Stats = stats
+	rep.Faults = plan.Stats()
+	rep.CheckpointPuts = store.putCount()
+	if runErr != nil {
+		rep.violatef("driver run failed: %v", runErr)
+		return rep
+	}
+	if stats == nil {
+		return rep
+	}
+
+	// Oracle comparison: the distributed run must match a sequential
+	// single-threaded execution of the same deterministic source.
+	want := expectedWindows(sc, stats.StartNanos)
+	got := sink.snapshot()
+	rep.Windows = len(got)
+	if diff := diffWindows(want, got); diff != "" {
+		rep.violatef("window results diverge from sequential oracle:\n%s", diff)
+	}
+	for _, c := range sink.conflictList() {
+		rep.violatef("sink conflict (exactly-once broken): %s", c)
+	}
+	for _, v := range store.regressions() {
+		rep.violatef("checkpoint watermark: %s", v)
+	}
+	return rep
+}

@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"drizzle/internal/core"
+	"drizzle/internal/engine"
+	"drizzle/internal/rpc"
+)
+
+// checkClean runs a scenario and fails the test with the reproduction seed
+// if any oracle invariant broke.
+func checkClean(t *testing.T, sc Scenario) *Report {
+	t.Helper()
+	rep := Run(sc)
+	t.Log(rep.Summary())
+	if err := rep.Err(); err != nil {
+		t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run %s ./internal/chaos\n%v",
+			sc.Seed, t.Name(), err)
+	}
+	return rep
+}
+
+// TestChaosBaseline sanity-checks the harness itself: with no faults the
+// run must match the oracle and the sink must fill with windows.
+func TestChaosBaseline(t *testing.T) {
+	t.Parallel()
+	rep := checkClean(t, Scenario{
+		Name: "baseline", Seed: 1, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 12, GroupSize: 3,
+	})
+	if rep.Windows == 0 {
+		t.Fatal("baseline run emitted no windows; harness is not exercising the job")
+	}
+	if rep.CheckpointPuts == 0 {
+		t.Error("baseline run persisted no checkpoints")
+	}
+}
+
+// TestChaosKillWorkerMidGroup kills a worker in the middle of a scheduling
+// group: pre-scheduled tasks on the dead node, its map outputs, and its
+// reduce state all have to be recovered (§3.3).
+func TestChaosKillWorkerMidGroup(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "kill-mid-group", Seed: 2, Mode: engine.ModeDrizzle,
+		Workers: 4, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 45 / 100, Kind: EventKillWorker, Node: "w1"},
+	}
+	rep := checkClean(t, sc)
+	if len(rep.Killed) != 1 {
+		t.Fatalf("expected 1 kill, got %v", rep.Killed)
+	}
+	if rep.Stats != nil && rep.Stats.Failures == 0 {
+		t.Error("driver never detected the worker failure")
+	}
+}
+
+// TestChaosPartitionDriverWorker partitions a worker from the driver (both
+// directions, one at a time) during a pre-scheduled shuffle. The outbound
+// block eats heartbeats until the driver declares the worker dead; the
+// node keeps running as a zombie and its late un-partitioning must not
+// corrupt results.
+func TestChaosPartitionDriverWorker(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "partition-driver-worker", Seed: 3, Mode: engine.ModeDrizzle,
+		Workers: 4, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 35 / 100, Kind: EventBlock, From: "w2", To: "driver"},
+		{At: span*35/100 + 250*time.Millisecond, Kind: EventUnblock, From: "w2", To: "driver"},
+	}
+	rep := checkClean(t, sc)
+	if rep.Faults.Blocked == 0 {
+		t.Error("partition never intercepted a message (heartbeats flow every 20ms)")
+	}
+	if rep.Stats != nil && rep.Stats.Failures == 0 {
+		t.Error("250ms heartbeat silence should exceed the 160ms timeout and trigger failure handling")
+	}
+}
+
+// TestChaosShufflePlanePartition cuts both directions between two workers
+// mid-run, so pre-scheduled DataReady notifications and shuffle fetches
+// between them are lost until the link heals. Fetch timeouts and the stall
+// safety net must repair the damage.
+func TestChaosShufflePlanePartition(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "partition-shuffle-plane", Seed: 4, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+		MapParts: 6, ReduceParts: 3,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	at := span * 30 / 100
+	sc.Events = []Event{
+		{At: at, Kind: EventBlock, From: "w0", To: "w1"},
+		{At: at, Kind: EventBlock, From: "w1", To: "w0"},
+		{At: at + 200*time.Millisecond, Kind: EventUnblock, From: "w0", To: "w1"},
+		{At: at + 200*time.Millisecond, Kind: EventUnblock, From: "w1", To: "w0"},
+	}
+	checkClean(t, sc)
+}
+
+// TestChaosDroppedTaskStatuses drops half of all TaskStatus reports to the
+// driver until the run heals. Completion tracking must survive on the
+// stall-resend safety net plus duplicate detection at the workers.
+func TestChaosDroppedTaskStatuses(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "drop-task-status", Seed: 5, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 14, GroupSize: 4, Interval: 40 * time.Millisecond,
+		Rules: []rpc.LinkFault{{
+			To:    "driver",
+			Match: func(m any) bool { _, ok := m.(core.TaskStatus); return ok },
+			Drop:  0.5,
+		}},
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{{At: span * 55 / 100, Kind: EventHealAll}}
+	rep := checkClean(t, sc)
+	if rep.Faults.Dropped == 0 {
+		t.Error("no TaskStatus was ever dropped; the rule did not engage")
+	}
+}
+
+// TestChaosDroppedRestores kills a worker while every RestoreState message
+// is being dropped. Replayed tasks must hold at their MinState floor (a
+// late or missing restore must never be papered over by folding batches
+// into empty state) until the heal lets a group-boundary re-send deliver
+// the snapshot.
+func TestChaosDroppedRestores(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "drop-restores", Seed: 6, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+		MapParts: 6, ReduceParts: 6,
+		Rules: []rpc.LinkFault{{
+			Match: func(m any) bool { _, ok := m.(core.RestoreState); return ok },
+			Drop:  1.0,
+		}},
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 30 / 100, Kind: EventKillWorker, Node: "w0"},
+		{At: span * 60 / 100, Kind: EventHealAll},
+	}
+	checkClean(t, sc)
+}
+
+// TestChaosBSPWithFaults exercises the BSP scheduler's per-stage barriers
+// under kill plus moderate message loss.
+func TestChaosBSPWithFaults(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "bsp-faults", Seed: 7, Mode: engine.ModeBSP,
+		Workers: 4, Batches: 12, GroupSize: 1, Interval: 40 * time.Millisecond,
+		Rules: []rpc.LinkFault{{Drop: 0.05}},
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 40 / 100, Kind: EventKillWorker, Node: "w3"},
+		{At: span * 65 / 100, Kind: EventHealAll},
+	}
+	checkClean(t, sc)
+}
+
+// TestChaosRandomized is the main acceptance test: K randomized scenarios,
+// each fully derived from a seed, validated against the sequential oracle.
+// A failure prints the seed; CHAOS_SEED=<seed> re-runs exactly that
+// scenario, and CHAOS_SCENARIOS=<n> overrides the count.
+func TestChaosRandomized(t *testing.T) {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		rep := Run(RandomScenario(seed))
+		t.Log(rep.Summary())
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	count := 24
+	if s := os.Getenv("CHAOS_SCENARIOS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_SCENARIOS %q", s)
+		}
+		count = n
+	}
+	if testing.Short() {
+		count = 6
+	}
+	const base = int64(20260806)
+	for i := 0; i < count; i++ {
+		seed := base + int64(i)*1000003
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep := Run(RandomScenario(seed))
+			t.Log(rep.Summary())
+			if err := rep.Err(); err != nil {
+				t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run TestChaosRandomized ./internal/chaos\n%v", seed, err)
+			}
+		})
+	}
+}
+
+// TestRandomScenarioDeterministic pins the reproduction contract: the same
+// seed must generate the identical scenario, and different seeds must not
+// all collapse onto one shape.
+func TestRandomScenarioDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []int64{1, 42, 20260806} {
+		a, b := RandomScenario(seed), RandomScenario(seed)
+		// Rules carry no Match closures in generated scenarios, so
+		// DeepEqual is exact.
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: scenario generation is not deterministic:\n%+v\nvs\n%+v", seed, a, b)
+		}
+	}
+	distinct := make(map[string]bool)
+	for seed := int64(0); seed < 50; seed++ {
+		sc := RandomScenario(seed)
+		distinct[fmt.Sprintf("%d/%d/%d/%v/%d", sc.Workers, sc.MapParts, sc.Batches, sc.Mode, len(sc.Events))] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("50 seeds produced only %d distinct shapes; generator is too narrow", len(distinct))
+	}
+}
+
+// TestReportErrNamesSeed checks that a violation error carries the seed —
+// the whole reproduction story hangs on it.
+func TestReportErrNamesSeed(t *testing.T) {
+	t.Parallel()
+	rep := &Report{Scenario: Scenario{Seed: 987654, Name: "x"}}
+	if rep.Err() != nil {
+		t.Fatal("clean report must return nil error")
+	}
+	rep.violatef("window %d is wrong", 7)
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "987654") {
+		t.Fatalf("violation error must name the seed, got: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"drizzle/internal/engine"
+	"drizzle/internal/rpc"
+)
+
+// RandomScenario derives a complete scenario — topology, fault rules, and
+// event timeline — from a single seed. The same seed always produces the
+// same scenario (and seeds the same fault dice inside the run), so a seed
+// printed by a failing test reproduces the run exactly.
+//
+// Generation stays inside bounds the engine is specified to survive:
+// structural damage (kills plus partitions that can escalate into
+// heartbeat deaths) never exceeds Workers-2, keeping at least two workers
+// alive for placement; drop probabilities stay moderate; and every
+// scenario heals at ~70% of its nominal span so the tail of the run can
+// repair fault-era damage before the oracle takes stock.
+func RandomScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Name:            fmt.Sprintf("rand-%d", seed),
+		Seed:            seed,
+		Mode:            engine.ModeDrizzle,
+		Workers:         3 + rng.Intn(3),
+		SlotsPerWorker:  4,
+		MapParts:        4 + rng.Intn(4),
+		ReduceParts:     2 + rng.Intn(3),
+		Batches:         12 + rng.Intn(8),
+		GroupSize:       2 + rng.Intn(3),
+		CheckpointEvery: 1 + rng.Intn(2),
+		Interval:        time.Duration(30+10*rng.Intn(3)) * time.Millisecond,
+		WindowBatches:   3 + rng.Intn(2),
+		NumKeys:         4 + rng.Intn(5),
+		Repeats:         2,
+		MaxTaskAttempts: 30,
+	}
+	if rng.Intn(4) == 0 {
+		// A quarter of scenarios exercise the BSP scheduler's barriers and
+		// recovery paths instead of group scheduling.
+		sc.Mode = engine.ModeBSP
+		sc.GroupSize = 1
+	}
+	span := sc.span()
+	frac := func(lo, hi float64) time.Duration {
+		return time.Duration((lo + (hi-lo)*rng.Float64()) * float64(span))
+	}
+
+	// Probabilistic link chaos, active from the start until the heal event.
+	// Each rule is wildcard (every link, every message type): the engine is
+	// supposed to tolerate loss, duplication, reordering, and latency
+	// anywhere in the control or data plane.
+	if rng.Intn(2) == 0 {
+		sc.Rules = append(sc.Rules, rpc.LinkFault{Drop: 0.03 + 0.12*rng.Float64()})
+	}
+	if rng.Intn(2) == 0 {
+		sc.Rules = append(sc.Rules, rpc.LinkFault{Duplicate: 0.10 + 0.20*rng.Float64()})
+	}
+	if rng.Intn(2) == 0 {
+		sc.Rules = append(sc.Rules, rpc.LinkFault{
+			Reorder:     0.10 + 0.20*rng.Float64(),
+			ReorderSpan: 2 + rng.Intn(3),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		sc.Rules = append(sc.Rules, rpc.LinkFault{
+			SpikeProb:    0.05 + 0.10*rng.Float64(),
+			SpikeLatency: time.Duration(2+rng.Intn(8)) * time.Millisecond,
+		})
+	}
+
+	// Structural events. Placement requires a non-empty worker set, so the
+	// combined budget of kills and possibly-fatal partitions is Workers-2.
+	budget := sc.Workers - 2
+	if budget > 0 && rng.Intn(3) > 0 {
+		victim := rpc.NodeID(fmt.Sprintf("w%d", rng.Intn(sc.Workers)))
+		sc.Events = append(sc.Events, Event{
+			At: frac(0.20, 0.55), Kind: EventKillWorker, Node: victim,
+		})
+		budget--
+		if rng.Intn(2) == 0 {
+			// Late recovery: a fresh worker joins after the death and picks
+			// up migrated partitions at a group boundary.
+			sc.Events = append(sc.Events, Event{
+				At: frac(0.55, 0.75), Kind: EventAddWorker, Node: "late0",
+			})
+		}
+	}
+	if budget > 0 && rng.Intn(3) == 0 {
+		// A one-way partition between a worker and the driver. If it
+		// outlives the heartbeat timeout the driver declares the worker
+		// dead and the partitioned node becomes a zombie, which is why it
+		// charges the structural budget.
+		target := rpc.NodeID(fmt.Sprintf("w%d", rng.Intn(sc.Workers)))
+		at := frac(0.20, 0.50)
+		dur := time.Duration(60+rng.Intn(160)) * time.Millisecond
+		from, to := target, rpc.NodeID("driver")
+		if rng.Intn(2) == 0 {
+			from, to = rpc.NodeID("driver"), target
+		}
+		sc.Events = append(sc.Events,
+			Event{At: at, Kind: EventBlock, From: from, To: to},
+			Event{At: at + dur, Kind: EventUnblock, From: from, To: to},
+		)
+	}
+	sc.Events = append(sc.Events, Event{At: span * 7 / 10, Kind: EventHealAll})
+	return sc
+}

@@ -82,4 +82,12 @@ type TaskDescriptor struct {
 	// Group is the sequence number of the scheduling group this task
 	// belongs to, used for bookkeeping and purge decisions.
 	Group int64
+	// MinState, for windowed terminal tasks of a partition that was moved
+	// by recovery, is 1 + the batch of the snapshot the new owner must have
+	// restored before this task may apply (so MinState-1 is the required
+	// applied-through watermark). Zero means no requirement. Without it, a
+	// task racing ahead of a lost RestoreState message would fold its batch
+	// into empty state, and the late restore would then silently erase that
+	// batch's contribution.
+	MinState BatchID
 }

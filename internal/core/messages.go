@@ -65,6 +65,14 @@ type TaskStatus struct {
 	Worker rpc.NodeID
 	OK     bool
 	Err    string
+	// NeedsJob marks a failure caused by the worker not knowing the job
+	// (its SubmitJob was lost); the driver re-sends the job and retries
+	// without charging the task an attempt.
+	NeedsJob bool
+	// NeedsState marks a failure caused by a windowed terminal partition
+	// lagging its restore floor (its RestoreState was lost); the driver
+	// re-sends the restore and retries without charging an attempt.
+	NeedsState bool
 	// OutputSizes, for map tasks, gives per-reduce-partition output bytes.
 	// The BSP driver uses it at its stage barrier; the Drizzle driver only
 	// records the holder for lineage.

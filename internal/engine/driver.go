@@ -292,6 +292,7 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		attempts:    make(map[core.TaskID]int),
 		mapHolders:  make(map[core.Dep]rpc.NodeID),
 		relay:       make(map[core.TaskID]bool),
+		restores:    make(map[checkpoint.StateKey]core.BatchID),
 		ckptBatch:   -1,
 		stats: &RunStats{
 			Mode:      d.cfg.Mode,
@@ -334,6 +335,10 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 			d.migrateState(rs, rs.placement, p)
 			rs.placement = p
 		}
+		// Group boundary: re-deliver any recovery restores the network may
+		// have eaten. Sent before this group's LaunchTasks so per-link FIFO
+		// (when it holds) lands the state before the tasks that need it.
+		d.resendRestores(rs)
 		g := groupSize
 		if rem := int(rs.numBatches - b); g > rem {
 			g = rem
@@ -382,7 +387,14 @@ type runState struct {
 	attempts    map[core.TaskID]int
 	mapHolders  map[core.Dep]rpc.NodeID // lineage: completed shuffle outputs
 	relay       map[core.TaskID]bool    // recovery tasks whose DataReady the driver relays
-	remaining   int
+	// restores records, per terminal partition moved by recovery or
+	// migration, the batch of the snapshot its new owner must restore
+	// before applying later batches. The entry sets the MinState floor on
+	// every subsequent task of the partition and drives restore re-delivery
+	// (group boundaries, stalls, NeedsState reports), which is what keeps
+	// recovery correct when RestoreState messages can be lost or reordered.
+	restores  map[checkpoint.StateKey]core.BatchID
+	remaining int
 
 	groupFirst core.BatchID
 	groupSize  int
@@ -406,14 +418,86 @@ func (rs *runState) register(all []core.TaskDescriptor, byWorker map[rpc.NodeID]
 }
 
 // purgeWatermark returns the batch below which shuffle blocks and
-// dependency bookkeeping may be dropped: everything checkpointed is
-// replayable from the snapshot, so only post-checkpoint batches are kept.
-func (rs *runState) purgeWatermark() core.BatchID {
+// dependency bookkeeping may be dropped. ckptBatch alone is not proof of
+// durability: TakeCheckpoint is fire-and-forget, so a snapshot the counter
+// claims may never have landed, and recovery then replays from whatever the
+// store really holds. A batch is reclaimable only once every windowed
+// terminal partition has a stored snapshot covering it and no incomplete
+// task still reads it.
+func (d *Driver) purgeWatermark(rs *runState) core.BatchID {
 	wm := rs.ckptBatch + 1
-	if wm < 0 {
-		wm = 0
+	if wm <= 0 {
+		return 0
+	}
+	for si := range rs.planner.Job.Stages {
+		stage := &rs.planner.Job.Stages[si]
+		if !stage.IsTerminal() || stage.Window == nil {
+			continue
+		}
+		for p := 0; p < stage.NumPartitions && wm > 0; p++ {
+			key := checkpoint.StateKey{Job: rs.jobName, Stage: si, Partition: p}
+			covered := core.BatchID(0)
+			if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+				covered = core.BatchID(snap.Batch) + 1
+			}
+			if covered < wm {
+				wm = covered
+			}
+		}
+	}
+	for id := range rs.outstanding {
+		if id.Batch < wm {
+			wm = id.Batch
+		}
 	}
 	return wm
+}
+
+// sendRestore (re)delivers the freshest snapshot for a recovery-moved
+// partition to its current owner. Safe to repeat: the worker refuses
+// snapshots its partition already progressed past.
+func (d *Driver) sendRestore(rs *runState, key checkpoint.StateKey) {
+	if _, tracked := rs.restores[key]; !tracked || rs.placement.NumWorkers() == 0 {
+		return
+	}
+	msg := core.RestoreState{Job: key.Job, Stage: key.Stage, Partition: key.Partition, UpTo: -1}
+	if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+		msg.UpTo = core.BatchID(snap.Batch)
+		msg.State = snap.Encode()
+	}
+	_ = d.net.Send(d.id, rs.placement.Assign(key.Stage, key.Partition), msg)
+}
+
+// resendRestores re-delivers every tracked restore — the safety net for
+// RestoreState messages lost by the network, invoked at group boundaries
+// and on stalls. Restores are small (one partition's window state) and the
+// worker-side guard makes repeats free.
+func (d *Driver) resendRestores(rs *runState) {
+	for key := range rs.restores {
+		d.sendRestore(rs, key)
+	}
+}
+
+// stampFloors sets the MinState floor on planned descriptors of windowed
+// terminal partitions that recovery has moved, so tasks planned in later
+// groups can never apply to a partition whose restore has not landed yet.
+func (d *Driver) stampFloors(rs *runState, byWorker map[rpc.NodeID][]core.TaskDescriptor) {
+	if len(rs.restores) == 0 {
+		return
+	}
+	for _, descs := range byWorker {
+		for i := range descs {
+			id := descs[i].ID
+			stage := &rs.planner.Job.Stages[id.Stage]
+			if !stage.IsTerminal() || stage.Window == nil {
+				continue
+			}
+			key := checkpoint.StateKey{Job: rs.jobName, Stage: id.Stage, Partition: id.Partition}
+			if floor, ok := rs.restores[key]; ok && floor >= 0 {
+				descs[i].MinState = floor + 1
+			}
+		}
+	}
 }
 
 // runGroupDrizzle executes one scheduling group (§3.1/§3.2).
@@ -421,12 +505,13 @@ func (d *Driver) runGroupDrizzle(rs *runState, first core.BatchID, g int, seq in
 	rs.groupFirst, rs.groupSize = first, g
 	coordStart := time.Now()
 	byWorker, all := rs.planner.PlanGroup(rs.placement, first, g, seq)
+	d.stampFloors(rs, byWorker)
 	rs.register(all, byWorker)
 	// Decisions are made once for the first micro-batch and reused for the
 	// remaining g-1 (§3.1): that reuse is what group scheduling amortizes.
 	perBatch := len(all) / g
 	d.chargeCosts(perBatch, len(all)-perBatch, len(byWorker))
-	purge := rs.purgeWatermark()
+	purge := d.purgeWatermark(rs)
 	for w, tasks := range byWorker {
 		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
 			log.Printf("engine: driver: launch to %s: %v", w, err)
@@ -452,9 +537,10 @@ func (d *Driver) runBatchBSP(rs *runState, b core.BatchID, seq int64) (coord, ex
 	for si := range rs.planner.Job.Stages {
 		coordStart := time.Now()
 		byWorker, all := rs.planner.PlanStage(rs.placement, b, si, seq, rs.mapHolders)
+		d.stampFloors(rs, byWorker)
 		rs.register(all, byWorker)
 		d.chargeCosts(len(all), 0, len(byWorker))
-		purge := rs.purgeWatermark()
+		purge := d.purgeWatermark(rs)
 		for w, tasks := range byWorker {
 			if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
 				log.Printf("engine: driver: launch to %s: %v", w, err)
@@ -470,7 +556,7 @@ func (d *Driver) runBatchBSP(rs *runState, b core.BatchID, seq int64) (coord, ex
 		}
 		exec += time.Since(execStart)
 	}
-	pruneHolders(rs.mapHolders, rs.purgeWatermark())
+	pruneHolders(rs.mapHolders, d.purgeWatermark(rs))
 	return coord, exec, nil
 }
 
@@ -545,9 +631,24 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 		return nil // stale report from a previous group
 	}
 	if !st.OK {
-		rs.attempts[st.ID]++
-		if rs.attempts[st.ID] >= d.cfg.MaxTaskAttempts {
-			return fmt.Errorf("engine: task %v failed %d times, last: %s", st.ID, rs.attempts[st.ID], st.Err)
+		// A missing-precondition failure means a control message was lost,
+		// not that the task is broken: re-deliver the cause and retry
+		// without charging an attempt.
+		if st.NeedsJob {
+			_ = d.net.Send(d.id, st.Worker, core.SubmitJob{Job: rs.jobName, StartNanos: rs.planner.StartNanos})
+			// A worker that lost its SubmitJob almost certainly lost the
+			// membership broadcast sent with it; workers discard stale
+			// epochs, so re-sending is idempotent.
+			_ = d.net.Send(d.id, st.Worker, d.membershipUpdate(rs.placement))
+		}
+		if st.NeedsState {
+			d.sendRestore(rs, checkpoint.StateKey{Job: rs.jobName, Stage: st.ID.Stage, Partition: st.ID.Partition})
+		}
+		if !st.NeedsJob && !st.NeedsState {
+			rs.attempts[st.ID]++
+			if rs.attempts[st.ID] >= d.cfg.MaxTaskAttempts {
+				return fmt.Errorf("engine: task %v failed %d times, last: %s", st.ID, rs.attempts[st.ID], st.Err)
+			}
 		}
 		rs.stats.Resubmits++
 		// Delay the retry: a failure usually means a machine just died,
@@ -620,6 +721,12 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 			}
 			desc.KnownLocations = known
 		}
+		if stage.IsTerminal() && stage.Window != nil {
+			key := checkpoint.StateKey{Job: rs.jobName, Stage: id.Stage, Partition: id.Partition}
+			if floor, ok := rs.restores[key]; ok && floor >= 0 {
+				desc.MinState = floor + 1
+			}
+		}
 		w := rs.placement.Assign(id.Stage, id.Partition)
 		byWorker[w] = append(byWorker[w], desc)
 		if !rs.completed[id] {
@@ -637,7 +744,7 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 	}
 	d.chargeCosts(len(ids), 0, len(byWorker))
 	for w, tasks := range byWorker {
-		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: rs.purgeWatermark()}); err != nil {
+		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: d.purgeWatermark(rs)}); err != nil {
 			log.Printf("engine: driver: resubmit to %s: %v", w, err)
 		}
 	}
@@ -649,6 +756,12 @@ func (d *Driver) resendIncomplete(rs *runState) {
 	if rs.remaining == 0 {
 		return
 	}
+	// Restores first: a stalled group may be waiting on a replay task that
+	// is itself waiting on a lost RestoreState. A stall can equally mean a
+	// worker never saw the membership broadcast (it then skips DataReady
+	// pushes), so re-broadcast that too — stale epochs are discarded.
+	d.resendRestores(rs)
+	d.broadcast(d.membershipUpdate(rs.placement))
 	ids := make([]core.TaskID, 0, rs.remaining)
 	for id := range rs.outstanding {
 		ids = append(ids, id)
@@ -721,6 +834,7 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 				msg.UpTo = core.BatchID(snap.Batch)
 				msg.State = snap.Encode()
 			}
+			rs.restores[key] = restoredBatch
 			_ = d.net.Send(d.id, newOwner, msg)
 			for b := restoredBatch + 1; b < groupEnd; b++ {
 				if b < 0 {
@@ -838,6 +952,7 @@ func (d *Driver) migrateState(rs *runState, oldP, newP core.Placement) {
 		if snap, ok, _ := d.ckpt.Latest(key); ok {
 			snapBatch = core.BatchID(snap.Batch)
 		}
+		rs.restores[key] = snapBatch
 		for b := snapBatch + 1; b <= upTo; b++ {
 			if b >= 0 {
 				ids = append(ids, core.TaskID{Batch: b, Stage: key.Stage, Partition: key.Partition})

@@ -91,6 +91,37 @@ func (ws *windowSink) fn(batch int64, partition int, out []data.Record) {
 	ws.mu.Unlock()
 }
 
+// emittedCount returns how many records the sink has received so far.
+func (ws *windowSink) emittedCount() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.emitted
+}
+
+// waitEmitted blocks until the sink has received at least n records or the
+// timeout elapses, reporting whether the condition was reached. Tests use
+// it to fire mid-run events (kill, scale) off observed progress instead of
+// wall-clock sleeps, which drift under -race and machine load.
+func (ws *windowSink) waitEmitted(n int, timeout time.Duration) bool {
+	return waitFor(timeout, func() bool { return ws.emittedCount() >= n })
+}
+
+// waitFor polls cond every few milliseconds until it holds or the timeout
+// elapses. It deliberately takes no *testing.T: triggers run on helper
+// goroutines where FailNow is illegal, so callers decide how to react.
+func waitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func (ws *windowSink) snapshot() map[[2]int64]int64 {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()

@@ -30,10 +30,12 @@ func TestDrizzleRecoversFromWorkerFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Kill one worker roughly mid-run (the run spans ~1s of batch time).
+	// Kill one worker mid-run, keyed to observed progress rather than wall
+	// time: two full windows (6 keys each) land around batch 9 of 20.
 	go func() {
-		time.Sleep(450 * time.Millisecond)
-		tc.kill("w2")
+		if sink.waitEmitted(12, 10*time.Second) {
+			tc.kill("w2")
+		}
 	}()
 
 	stats, err := tc.driver.Run("wc", batches)
@@ -72,9 +74,11 @@ func TestBSPRecoversFromWorkerFailure(t *testing.T) {
 	if err := tc.reg.Register("wc", job); err != nil {
 		t.Fatal(err)
 	}
+	// Two windows (4 keys each) have landed around batch 9 of 14.
 	go func() {
-		time.Sleep(400 * time.Millisecond)
-		tc.kill("w1")
+		if sink.waitEmitted(8, 10*time.Second) {
+			tc.kill("w1")
+		}
 	}()
 	stats, err := tc.driver.Run("wc", batches)
 	if err != nil {
@@ -105,9 +109,12 @@ func TestElasticityAddWorker(t *testing.T) {
 	if err := tc.reg.Register("wc", job); err != nil {
 		t.Fatal(err)
 	}
+	// Scale up once the first window (5 keys) has been emitted, so the new
+	// worker joins at a boundary with state to migrate.
 	go func() {
-		time.Sleep(300 * time.Millisecond)
-		tc.addWorker(t, "w-new")
+		if sink.waitEmitted(5, 10*time.Second) {
+			tc.addWorker(t, "w-new")
+		}
 	}()
 	stats, err := tc.driver.Run("wc", batches)
 	if err != nil {
@@ -137,9 +144,12 @@ func TestElasticityRemoveWorker(t *testing.T) {
 	if err := tc.reg.Register("wc", job); err != nil {
 		t.Fatal(err)
 	}
+	// Decommission once the first window has been emitted, so w0 holds
+	// window state that must migrate.
 	go func() {
-		time.Sleep(300 * time.Millisecond)
-		tc.driver.RemoveWorker("w0")
+		if sink.waitEmitted(5, 10*time.Second) {
+			tc.driver.RemoveWorker("w0")
+		}
 	}()
 	stats, err := tc.driver.Run("wc", batches)
 	if err != nil {

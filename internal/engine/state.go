@@ -143,16 +143,32 @@ func (s *StateStore) Snapshot(key checkpoint.StateKey, upTo core.BatchID) (*chec
 }
 
 // Restore replaces the partition's state with a snapshot; batches after
-// snap.Batch will be replayed on top of it.
-func (s *StateStore) Restore(snap *checkpoint.Snapshot) {
+// snap.Batch will be replayed on top of it. It reports whether the snapshot
+// was applied: a restore is refused when the partition has already applied
+// a batch beyond the snapshot, because replacing the state would silently
+// erase that batch's contribution (stale or duplicated RestoreState
+// messages on a lossy network hit exactly this case). Batches at or below
+// the snapshot are covered by the snapshot itself, so overwriting them is
+// safe.
+func (s *StateStore) Restore(snap *checkpoint.Snapshot) bool {
 	p := s.partition(snap.Key)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	max := p.appliedThrough
+	for b := range p.applied {
+		if b > max {
+			max = b
+		}
+	}
+	if max > core.BatchID(snap.Batch) {
+		return false
+	}
 	c := snap.Clone()
 	p.windows = c.Windows
 	p.applied = make(map[core.BatchID]bool)
 	p.appliedThrough = core.BatchID(snap.Batch)
 	p.emittedThrough = snap.EmittedThrough
+	return true
 }
 
 // Keys lists the state partitions currently held, for checkpointing.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -238,6 +239,9 @@ func (w *Worker) onRestoreState(m core.RestoreState) {
 		// given batch watermark.
 		snap = &checkpoint.Snapshot{Key: key, Batch: int64(m.UpTo), Windows: map[int64]map[uint64]int64{}}
 	}
+	// Restore refuses snapshots the partition already progressed past
+	// (duplicated or re-sent restores arriving late); that is the correct
+	// outcome, not an error.
 	w.states.Restore(snap)
 }
 
@@ -252,6 +256,17 @@ func (w *Worker) slotLoop() {
 		}
 	}
 }
+
+// errJobUnknown and errStateBehind are retryable preconditions, not task
+// bugs: the worker is missing a control message (SubmitJob / RestoreState)
+// that the driver can re-deliver. They are flagged in TaskStatus so the
+// driver heals the cause instead of burning task attempts — the difference
+// matters only on lossy networks, which is exactly what the chaos harness
+// injects.
+var (
+	errJobUnknown  = errors.New("job not submitted")
+	errStateBehind = errors.New("partition state behind restore floor")
+)
 
 // runTask executes one task end to end and reports status to the driver.
 func (w *Worker) runTask(rt core.RunnableTask) {
@@ -268,6 +283,8 @@ func (w *Worker) runTask(rt core.RunnableTask) {
 	}
 	if err != nil {
 		status.Err = err.Error()
+		status.NeedsJob = errors.Is(err, errJobUnknown)
+		status.NeedsState = errors.Is(err, errStateBehind)
 	}
 	w.send(w.driver, status)
 }
@@ -278,13 +295,25 @@ func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {
 	placement := w.placement
 	w.mu.Unlock()
 	if ji == nil {
-		return nil, fmt.Errorf("engine: job %q not submitted to %s", rt.Desc.Job, w.id)
+		return nil, fmt.Errorf("engine: %w: job %q on %s", errJobUnknown, rt.Desc.Job, w.id)
 	}
 	id := rt.Desc.ID
 	if id.Stage < 0 || id.Stage >= len(ji.job.Stages) {
 		return nil, fmt.Errorf("engine: task %v references stage out of range", id)
 	}
 	stage := &ji.job.Stages[id.Stage]
+
+	// A task for a recovered partition must not apply before the partition's
+	// restore landed: folding its batch into empty state would let the late
+	// restore erase the batch's contribution. Fail fast and let the driver
+	// re-deliver the restore.
+	if rt.Desc.MinState > 0 && stage.IsTerminal() && stage.Window != nil {
+		key := checkpoint.StateKey{Job: ji.name, Stage: id.Stage, Partition: id.Partition}
+		if at := w.states.AppliedThrough(key); at < rt.Desc.MinState-1 {
+			return nil, fmt.Errorf("engine: task %v: %w (applied %d, need %d)",
+				id, errStateBehind, at, rt.Desc.MinState-1)
+		}
+	}
 
 	var recs []data.Record
 	if stage.IsSource() {
@@ -421,6 +450,14 @@ func (w *Worker) writeShuffleOutput(ji *jobInfo, stage *dag.Stage, id core.TaskI
 // all-to-all shuffle, one for a structured shuffle).
 func (w *Worker) notifyConsumers(ji *jobInfo, id core.TaskID, placement core.Placement, size int64, include func(child, r int) bool) {
 	dep := core.Dep{Job: ji.name, Batch: id.Batch, Stage: id.Stage, MapPartition: id.Partition}
+	// No membership yet: the MembershipUpdate broadcast was lost. The output
+	// is written and the driver learns the holder from the status report, so
+	// skipping the push is safe — consumers are reactivated by the driver's
+	// stall resend with known locations, and the driver re-broadcasts
+	// membership on the same paths that re-deliver lost SubmitJobs.
+	if placement.NumWorkers() == 0 {
+		return
+	}
 	notified := make(map[rpc.NodeID]bool)
 	for _, child := range ji.job.Children(id.Stage) {
 		for r := 0; r < ji.job.Stages[child].NumPartitions; r++ {

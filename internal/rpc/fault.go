@@ -1,0 +1,233 @@
+package rpc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"drizzle/internal/metrics"
+)
+
+// FaultPlan is a composable, seed-reproducible description of what a faulty
+// network does to in-flight messages. It is consulted by InMemNetwork.Send
+// for every message and combines two layers:
+//
+//   - Probabilistic rules (LinkFault): per-link message drop, duplication,
+//     bounded reordering and latency spikes, all driven by a single seeded
+//     rng so a chaos run's fault decisions reproduce from its seed.
+//   - Scheduled one-way partitions (Block/Unblock): the chaos scenario
+//     runner toggles these at scripted times to model asymmetric network
+//     splits (driver can reach a worker but not hear from it, and so on).
+//
+// Full-run determinism is impossible on a real scheduler — goroutine timing
+// moves which message meets which rng draw — but the rule set, the partition
+// schedule and the per-message coin flips all derive from the seed, which in
+// practice makes failures reproducible (see DESIGN.md, "Chaos testing").
+//
+// Every fault the plan injects is counted in a metrics.Counter so chaos
+// reports can state what a run actually exercised.
+type FaultPlan struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []LinkFault
+	blocked map[faultLink]bool
+
+	dropped    metrics.Counter
+	duplicated metrics.Counter
+	reordered  metrics.Counter
+	delayed    metrics.Counter
+	blockedCnt metrics.Counter
+}
+
+type faultLink struct{ from, to NodeID }
+
+// LinkFault is one probabilistic fault rule. From/To select the link ("" is
+// a wildcard) and Match optionally restricts the rule to certain message
+// types (nil matches everything). Probabilities are independent: a message
+// can be both duplicated and delayed.
+type LinkFault struct {
+	// From and To select the directed link the rule applies to; an empty
+	// NodeID matches any sender / any receiver.
+	From, To NodeID
+	// Match, when non-nil, restricts the rule to messages it returns true
+	// for (e.g. only TaskStatus, only shuffle FetchResponse).
+	Match func(msg any) bool
+
+	// Drop is the probability the message silently vanishes.
+	Drop float64
+	// Duplicate is the probability a second copy is delivered, DupDelay
+	// (default 2ms) after the original.
+	Duplicate float64
+	DupDelay  time.Duration
+	// Reorder is the probability the message is held aside and re-injected
+	// only after up to ReorderSpan (default 3) later messages to the same
+	// destination have been enqueued — bounded reordering that breaks the
+	// transport's per-link FIFO the way a multi-path network would. Held
+	// messages are flushed after ReorderHold (default 25ms) even if the
+	// destination goes quiet, so reordering never turns into loss.
+	Reorder     float64
+	ReorderSpan int
+	ReorderHold time.Duration
+	// ExtraLatency is added to every matching message's delivery delay.
+	ExtraLatency time.Duration
+	// SpikeProb adds SpikeLatency with the given probability, modelling GC
+	// pauses / transient congestion rather than a uniform slowdown.
+	SpikeProb    float64
+	SpikeLatency time.Duration
+}
+
+// FaultStatsSnapshot is a point-in-time copy of the plan's counters.
+type FaultStatsSnapshot struct {
+	Dropped    int64 // messages silently discarded by a Drop rule
+	Duplicated int64 // extra copies injected
+	Reordered  int64 // messages held and re-injected out of order
+	Delayed    int64 // messages given ExtraLatency or a latency spike
+	Blocked    int64 // messages discarded by a one-way partition
+}
+
+// Total returns the number of fault decisions of any kind.
+func (s FaultStatsSnapshot) Total() int64 {
+	return s.Dropped + s.Duplicated + s.Reordered + s.Delayed + s.Blocked
+}
+
+// NewFaultPlan returns an empty plan whose probabilistic decisions are
+// driven by the given seed (0 picks a fixed default, keeping runs
+// reproducible by default).
+func NewFaultPlan(seed int64) *FaultPlan {
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultPlan{
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[faultLink]bool),
+	}
+}
+
+// AddRule appends a probabilistic fault rule.
+func (p *FaultPlan) AddRule(r LinkFault) {
+	if r.ReorderSpan <= 0 {
+		r.ReorderSpan = 3
+	}
+	if r.ReorderHold <= 0 {
+		r.ReorderHold = 25 * time.Millisecond
+	}
+	if r.DupDelay <= 0 {
+		r.DupDelay = 2 * time.Millisecond
+	}
+	p.mu.Lock()
+	p.rules = append(p.rules, r)
+	p.mu.Unlock()
+}
+
+// ClearRules removes all probabilistic rules (scheduled partitions are
+// untouched); chaos scenarios use it as the "network heals" event.
+func (p *FaultPlan) ClearRules() {
+	p.mu.Lock()
+	p.rules = nil
+	p.mu.Unlock()
+}
+
+// Block installs a one-way partition: messages from -> to are discarded
+// until Unblock. An empty NodeID is a wildcard, so Block("", "driver")
+// isolates the driver from everyone's messages while its own still flow.
+func (p *FaultPlan) Block(from, to NodeID) {
+	p.mu.Lock()
+	p.blocked[faultLink{from, to}] = true
+	p.mu.Unlock()
+}
+
+// Unblock removes a one-way partition installed by Block.
+func (p *FaultPlan) Unblock(from, to NodeID) {
+	p.mu.Lock()
+	delete(p.blocked, faultLink{from, to})
+	p.mu.Unlock()
+}
+
+// UnblockAll heals every scheduled partition.
+func (p *FaultPlan) UnblockAll() {
+	p.mu.Lock()
+	p.blocked = make(map[faultLink]bool)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (p *FaultPlan) Stats() FaultStatsSnapshot {
+	return FaultStatsSnapshot{
+		Dropped:    p.dropped.Value(),
+		Duplicated: p.duplicated.Value(),
+		Reordered:  p.reordered.Value(),
+		Delayed:    p.delayed.Value(),
+		Blocked:    p.blockedCnt.Value(),
+	}
+}
+
+// faultDecision is the transport-facing verdict for one message.
+type faultDecision struct {
+	drop       bool
+	extraDelay time.Duration
+	duplicate  bool
+	dupDelay   time.Duration
+	hold       bool          // stash for reordering
+	holdCount  int           // release after this many later sends to the destination
+	holdMax    time.Duration // failsafe flush deadline
+}
+
+func (r *LinkFault) matches(from, to NodeID, msg any) bool {
+	if r.From != "" && r.From != from {
+		return false
+	}
+	if r.To != "" && r.To != to {
+		return false
+	}
+	if r.Match != nil && !r.Match(msg) {
+		return false
+	}
+	return true
+}
+
+// decide rolls the dice for one message. Called by InMemNetwork.Send.
+func (p *FaultPlan) decide(from, to NodeID, msg any) faultDecision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d faultDecision
+	if p.blocked[faultLink{from, to}] ||
+		p.blocked[faultLink{"", to}] ||
+		p.blocked[faultLink{from, ""}] {
+		p.blockedCnt.Inc()
+		d.drop = true
+		return d
+	}
+	for i := range p.rules {
+		r := &p.rules[i]
+		if !r.matches(from, to, msg) {
+			continue
+		}
+		if r.Drop > 0 && p.rng.Float64() < r.Drop {
+			p.dropped.Inc()
+			d.drop = true
+			return d
+		}
+		if r.ExtraLatency > 0 {
+			d.extraDelay += r.ExtraLatency
+			p.delayed.Inc()
+		}
+		if r.SpikeProb > 0 && r.SpikeLatency > 0 && p.rng.Float64() < r.SpikeProb {
+			d.extraDelay += r.SpikeLatency
+			p.delayed.Inc()
+		}
+		if r.Duplicate > 0 && p.rng.Float64() < r.Duplicate {
+			d.duplicate = true
+			if d.dupDelay < r.DupDelay {
+				d.dupDelay = r.DupDelay
+			}
+			p.duplicated.Inc()
+		}
+		if !d.hold && r.Reorder > 0 && p.rng.Float64() < r.Reorder {
+			d.hold = true
+			d.holdCount = 1 + p.rng.Intn(r.ReorderSpan)
+			d.holdMax = r.ReorderHold
+			p.reordered.Inc()
+		}
+	}
+	return d
+}

@@ -1,0 +1,211 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector records delivered messages for one node.
+type collector struct {
+	mu   sync.Mutex
+	msgs []any
+}
+
+func (c *collector) handler(from NodeID, msg any) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]any(nil), c.msgs...)
+}
+
+// waitLen polls until the collector holds at least n messages.
+func (c *collector) waitLen(t *testing.T, n int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		got := len(c.msgs)
+		c.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages (have %d)", n, len(c.snapshot()))
+}
+
+func newFaultPair(t *testing.T, plan *FaultPlan) (*InMemNetwork, *collector) {
+	t.Helper()
+	net := NewInMemNetwork(InMemConfig{})
+	t.Cleanup(net.Close)
+	net.SetFaultPlan(plan)
+	recv := &collector{}
+	if err := net.Register("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register("a", func(NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	return net, recv
+}
+
+func TestFaultPlanDropsAllMatching(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{From: "a", To: "b", Drop: 1})
+	net, recv := newFaultPair(t, plan)
+	for i := 0; i < 10; i++ {
+		if err := net.Send("a", "b", i); err != nil {
+			t.Fatalf("send %d: %v (drops must be silent)", i, err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := recv.snapshot(); len(got) != 0 {
+		t.Fatalf("delivered %d messages through a Drop=1 rule", len(got))
+	}
+	if s := plan.Stats(); s.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", s.Dropped)
+	}
+}
+
+func TestFaultPlanBlockIsOneWay(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.Block("a", "b")
+	net := NewInMemNetwork(InMemConfig{})
+	defer net.Close()
+	net.SetFaultPlan(plan)
+	ra, rb := &collector{}, &collector{}
+	if err := net.Register("a", ra.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register("b", rb.handler); err != nil {
+		t.Fatal(err)
+	}
+	net.Send("a", "b", "forward") // blocked
+	net.Send("b", "a", "reverse") // flows
+	ra.waitLen(t, 1, time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if len(rb.snapshot()) != 0 {
+		t.Fatal("blocked direction delivered a message")
+	}
+	if s := plan.Stats(); s.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", s.Blocked)
+	}
+	plan.Unblock("a", "b")
+	net.Send("a", "b", "healed")
+	rb.waitLen(t, 1, time.Second)
+}
+
+func TestFaultPlanDuplicates(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{Duplicate: 1, DupDelay: time.Millisecond})
+	net, recv := newFaultPair(t, plan)
+	for i := 0; i < 5; i++ {
+		net.Send("a", "b", i)
+	}
+	recv.waitLen(t, 10, time.Second)
+	if s := plan.Stats(); s.Duplicated != 5 {
+		t.Fatalf("Duplicated = %d, want 5", s.Duplicated)
+	}
+}
+
+func TestFaultPlanReordersBounded(t *testing.T) {
+	type marked struct{ n int }
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{
+		Match:       func(m any) bool { _, ok := m.(marked); return ok },
+		Reorder:     1,
+		ReorderSpan: 2,
+		ReorderHold: 250 * time.Millisecond,
+	})
+	net, recv := newFaultPair(t, plan)
+	net.Send("a", "b", marked{0}) // held
+	net.Send("a", "b", "x1")      // overtakes
+	net.Send("a", "b", "x2")      // overtakes (span <= 2 releases by here)
+	recv.waitLen(t, 3, time.Second)
+	got := recv.snapshot()
+	if _, ok := got[0].(marked); ok {
+		t.Fatalf("held message delivered first: %v", got)
+	}
+	if s := plan.Stats(); s.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1", s.Reordered)
+	}
+}
+
+func TestFaultPlanReorderFailsafeFlush(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{Reorder: 1, ReorderSpan: 4, ReorderHold: 10 * time.Millisecond})
+	net, recv := newFaultPair(t, plan)
+	// A single message with no traffic behind it: only the failsafe timer
+	// can deliver it.
+	net.Send("a", "b", "lonely")
+	recv.waitLen(t, 1, time.Second)
+}
+
+func TestFaultPlanLatencySpike(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{ExtraLatency: 30 * time.Millisecond})
+	net, recv := newFaultPair(t, plan)
+	start := time.Now()
+	net.Send("a", "b", "slow")
+	recv.waitLen(t, 1, time.Second)
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 30ms", elapsed)
+	}
+	if s := plan.Stats(); s.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", s.Delayed)
+	}
+}
+
+// TestFaultPlanSeedDeterminism: two plans with the same seed make identical
+// per-message decisions — the property that lets a chaos failure reproduce
+// from a printed seed.
+func TestFaultPlanSeedDeterminism(t *testing.T) {
+	pattern := func(seed int64) string {
+		plan := NewFaultPlan(seed)
+		plan.AddRule(LinkFault{Drop: 0.5, Duplicate: 0.3})
+		out := ""
+		for i := 0; i < 200; i++ {
+			d := plan.decide("a", "b", i)
+			switch {
+			case d.drop:
+				out += "d"
+			case d.duplicate:
+				out += "2"
+			default:
+				out += "."
+			}
+		}
+		return out
+	}
+	if pattern(99) != pattern(99) {
+		t.Fatal("same seed produced different fault decisions")
+	}
+	if pattern(99) == pattern(100) {
+		t.Fatal("different seeds produced identical fault decisions (rng not wired?)")
+	}
+}
+
+// TestFaultPlanWildcardAndFilter: rules with empty From/To match any link,
+// and Match restricts by message content.
+func TestFaultPlanWildcardAndFilter(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.AddRule(LinkFault{
+		Match: func(m any) bool { s, ok := m.(string); return ok && s == "victim" },
+		Drop:  1,
+	})
+	net, recv := newFaultPair(t, plan)
+	net.Send("a", "b", "victim")
+	net.Send("a", "b", "survivor")
+	recv.waitLen(t, 1, time.Second)
+	got := recv.snapshot()
+	if fmt.Sprint(got[0]) != "survivor" {
+		t.Fatalf("wrong message survived: %v", got)
+	}
+}

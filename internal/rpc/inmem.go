@@ -59,7 +59,19 @@ type InMemNetwork struct {
 	failed map[NodeID]bool
 	closed bool
 	rng    *rand.Rand
+	fault  *FaultPlan
+	held   map[NodeID][]*heldMessage
 	wg     sync.WaitGroup
+}
+
+// heldMessage is a message stashed by a reorder rule: it re-enters the
+// destination's inbox only after `remaining` later sends to the same
+// destination (or after a failsafe timer), so later messages overtake it.
+type heldMessage struct {
+	m         inMemMessage
+	node      *inMemNode
+	remaining int
+	released  bool
 }
 
 var _ Network = (*InMemNetwork)(nil)
@@ -79,7 +91,16 @@ func NewInMemNetwork(cfg InMemConfig) *InMemNetwork {
 		nodes:  make(map[NodeID]*inMemNode),
 		failed: make(map[NodeID]bool),
 		rng:    rand.New(rand.NewSource(seed)),
+		held:   make(map[NodeID][]*heldMessage),
 	}
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+// Subsequent sends consult it; messages already in flight are unaffected.
+func (n *InMemNetwork) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	n.fault = p
+	n.mu.Unlock()
 }
 
 // Register implements Network.
@@ -178,15 +199,112 @@ func (n *InMemNetwork) Send(from, to NodeID, msg any) error {
 		size := wireSize(msg)
 		delay += time.Duration(int64(size) * int64(time.Second) / n.cfg.BytesPerSec)
 	}
+	plan := n.fault
 	n.mu.Unlock()
 
+	var dec faultDecision
+	if plan != nil {
+		dec = plan.decide(from, to, msg)
+		if dec.drop {
+			// Silent loss: the sender believes the message went out, exactly
+			// like a packet eaten by the network. Returning an error here
+			// would leak the fault to the caller.
+			return nil
+		}
+		delay += dec.extraDelay
+	}
+
 	m := inMemMessage{from: from, msg: msg, deliverAt: time.Now().Add(delay)}
+	if dec.hold {
+		n.holdForReorder(to, node, m, dec)
+		return nil
+	}
+	n.enqueue(node, m)
+	if dec.duplicate {
+		dup := m
+		dup.deliverAt = dup.deliverAt.Add(dec.dupDelay)
+		n.enqueue(node, dup)
+	}
+	// Only messages that actually entered the inbox overtake held ones; a
+	// held message must not count its own send against its release span.
+	n.releaseOvertaken(to)
+	return nil
+}
+
+// enqueue places a message in a node's inbox, giving up if the node was
+// unregistered.
+func (n *InMemNetwork) enqueue(node *inMemNode, m inMemMessage) {
 	select {
 	case node.inbox <- m:
-		return nil
 	case <-node.done:
-		return ErrUnknownNode
 	}
+}
+
+// holdForReorder stashes a message so that up to dec.holdCount later sends
+// to the same destination overtake it, with a failsafe timer bounding the
+// hold so a quiet destination still receives it.
+func (n *InMemNetwork) holdForReorder(to NodeID, node *inMemNode, m inMemMessage, dec faultDecision) {
+	h := &heldMessage{m: m, node: node, remaining: dec.holdCount}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.held[to] = append(n.held[to], h)
+	n.mu.Unlock()
+	time.AfterFunc(dec.holdMax, func() { n.releaseHeld(to, h) })
+}
+
+// releaseOvertaken counts one overtaking send against every message held
+// for the destination and re-injects the ones whose span is exhausted.
+func (n *InMemNetwork) releaseOvertaken(to NodeID) {
+	n.mu.Lock()
+	var release []*heldMessage
+	live := n.held[to][:0]
+	for _, h := range n.held[to] {
+		if h.released {
+			continue
+		}
+		h.remaining--
+		if h.remaining <= 0 {
+			h.released = true
+			release = append(release, h)
+			continue
+		}
+		live = append(live, h)
+	}
+	if len(live) == 0 {
+		delete(n.held, to)
+	} else {
+		n.held[to] = live
+	}
+	n.mu.Unlock()
+	for _, h := range release {
+		n.enqueue(h.node, h.m)
+	}
+}
+
+// releaseHeld is the failsafe path: flush one held message if still pending.
+func (n *InMemNetwork) releaseHeld(to NodeID, h *heldMessage) {
+	n.mu.Lock()
+	if h.released {
+		n.mu.Unlock()
+		return
+	}
+	h.released = true
+	live := n.held[to][:0]
+	for _, o := range n.held[to] {
+		if o != h && !o.released {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		delete(n.held, to)
+	} else {
+		n.held[to] = live
+	}
+	n.mu.Unlock()
+	n.enqueue(h.node, h.m)
 }
 
 // Fail implements FailureInjector: messages to and from id are dropped and
