@@ -17,16 +17,17 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("id", "w0", "worker node id (unique per cluster)")
-		listen = flag.String("listen", "127.0.0.1:7101", "worker listen address")
-		driver = flag.String("driver", "127.0.0.1:7100", "driver address")
-		slots  = flag.Int("slots", 4, "executor slots")
+		id        = flag.String("id", "w0", "worker node id (unique per cluster)")
+		listen    = flag.String("listen", "127.0.0.1:7101", "worker listen address")
+		driver    = flag.String("driver", "127.0.0.1:7100", "driver address")
+		slots     = flag.Int("slots", 4, "executor slots")
+		heartbeat = flag.Duration("heartbeat", 200*time.Millisecond, "heartbeat interval (must be well under the driver's heartbeat timeout)")
 	)
 	flag.Parse()
 
 	cfg := engine.DefaultConfig()
 	cfg.SlotsPerWorker = *slots
-	cfg.HeartbeatInterval = 200 * time.Millisecond
+	cfg.HeartbeatInterval = *heartbeat
 
 	reg := engine.NewRegistry()
 	if err := jobs.RegisterBuiltin(reg); err != nil {

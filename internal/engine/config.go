@@ -100,6 +100,15 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// FetchTimeout bounds a shuffle fetch before the task reports failure.
 	FetchTimeout time.Duration
+	// ShuffleServers is the number of goroutines serving shuffle fetch
+	// requests. Serving is decoupled from the transport's delivery
+	// goroutine so a large block read never head-of-line-blocks control
+	// messages arriving on the same connection.
+	ShuffleServers int
+	// ShuffleQueue bounds the backlog of fetch requests awaiting service;
+	// overflow is dropped (the fetcher times out and the driver retries
+	// the task), matching the transport's shed-on-overload policy.
+	ShuffleQueue int
 	// StallResend is a safety net: if a group makes no progress for this
 	// long, the driver re-sends descriptors for incomplete tasks with its
 	// best-known dependency locations. 0 picks a default.
@@ -145,6 +154,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FetchTimeout <= 0 {
 		c.FetchTimeout = 2 * time.Second
+	}
+	if c.ShuffleServers <= 0 {
+		c.ShuffleServers = 2
+	}
+	if c.ShuffleQueue <= 0 {
+		c.ShuffleQueue = 1024
 	}
 	if c.StallResend <= 0 {
 		c.StallResend = 5 * time.Second

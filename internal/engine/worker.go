@@ -35,6 +35,11 @@ type Worker struct {
 	jobs      map[string]*jobInfo
 	placement core.Placement
 
+	// fetchQ feeds the shuffle serve pool: block serving runs on dedicated
+	// goroutines instead of the transport's delivery goroutine, so a slow
+	// block read never stalls control-message handling.
+	fetchQ chan shuffle.FetchRequest
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -64,6 +69,7 @@ func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config
 		store:  shuffle.NewStore(),
 		states: NewStateStore(),
 		jobs:   make(map[string]*jobInfo),
+		fetchQ: make(chan shuffle.FetchRequest, cfg.ShuffleQueue),
 		stop:   make(chan struct{}),
 	}
 	send := func(to rpc.NodeID, msg any) error { return net.Send(id, to, msg) }
@@ -85,9 +91,26 @@ func (w *Worker) Start() error {
 		w.wg.Add(1)
 		go w.slotLoop()
 	}
+	for i := 0; i < w.cfg.ShuffleServers; i++ {
+		w.wg.Add(1)
+		go w.serveFetchLoop()
+	}
 	w.wg.Add(1)
 	go w.heartbeatLoop()
 	return nil
+}
+
+// serveFetchLoop drains the fetch queue onto the shuffle service.
+func (w *Worker) serveFetchLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case req := <-w.fetchQ:
+			w.service.HandleRequest(req)
+		}
+	}
 }
 
 // Stop halts the worker. It does not unregister from the network so that
@@ -141,7 +164,13 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 	case core.DataReady:
 		w.ls.OnDataReady(m.Dep, m.Holder)
 	case shuffle.FetchRequest:
-		w.service.HandleRequest(m)
+		select {
+		case w.fetchQ <- m:
+		default:
+			// Shed rather than block the delivery goroutine: the fetcher
+			// times out and the driver retries the task.
+			log.Printf("engine: worker %s: fetch queue full, dropping request from %s", w.id, m.From)
+		}
 	case shuffle.FetchResponse:
 		w.fetcher.HandleResponse(m)
 	case core.TakeCheckpoint:
@@ -340,10 +369,13 @@ func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {
 }
 
 // gatherInputs fetches and decodes every dependency block, reading local
-// blocks directly and batching remote reads per holder.
+// blocks directly and pipelining remote reads across holders: all remote
+// fetches are issued concurrently (Fetcher.FetchAll) instead of paying one
+// network round trip per holder in sequence.
 func (w *Worker) gatherInputs(rt core.RunnableTask) ([]data.Record, error) {
 	id := rt.Desc.ID
-	byHolder := make(map[rpc.NodeID][]shuffle.BlockID)
+	var local []shuffle.BlockID
+	remote := make(map[rpc.NodeID][]shuffle.BlockID)
 	for _, d := range rt.Desc.Deps {
 		holder, ok := rt.Locations[d]
 		if !ok {
@@ -356,24 +388,25 @@ func (w *Worker) gatherInputs(rt core.RunnableTask) ([]data.Record, error) {
 			MapPartition:    d.MapPartition,
 			ReducePartition: id.Partition,
 		}
-		byHolder[holder] = append(byHolder[holder], blk)
+		if holder == w.id {
+			local = append(local, blk)
+		} else {
+			remote[holder] = append(remote[holder], blk)
+		}
 	}
 	var recs []data.Record
-	for holder, blocks := range byHolder {
-		if holder == w.id {
-			for _, blk := range blocks {
-				rs, ok, err := w.store.Get(blk)
-				if err != nil {
-					return nil, fmt.Errorf("engine: task %v: local block %+v: %w", id, blk, err)
-				}
-				if !ok {
-					return nil, fmt.Errorf("engine: task %v: local block %+v missing", id, blk)
-				}
-				recs = append(recs, rs...)
-			}
-			continue
+	for _, blk := range local {
+		rs, ok, err := w.store.Get(blk)
+		if err != nil {
+			return nil, fmt.Errorf("engine: task %v: local block %+v: %w", id, blk, err)
 		}
-		fetched, err := w.fetcher.Fetch(holder, blocks, w.cfg.FetchTimeout)
+		if !ok {
+			return nil, fmt.Errorf("engine: task %v: local block %+v missing", id, blk)
+		}
+		recs = append(recs, rs...)
+	}
+	if len(remote) > 0 {
+		fetched, err := w.fetcher.FetchAll(remote, w.cfg.FetchTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("engine: task %v: %w", id, err)
 		}

@@ -2,6 +2,7 @@ package shuffle
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -125,16 +126,59 @@ func (f *Fetcher) Fetch(holder rpc.NodeID, blocks []BlockID, timeout time.Durati
 		f.abandon(id)
 		return nil, fmt.Errorf("shuffle: fetch from %s: %w", holder, err)
 	}
+	// A stopped timer, not time.After: this is the shuffle hot path, and
+	// time.After would leak one live timer per fetch until it fires.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case resp := <-ch:
 		if len(resp.Missing) > 0 {
 			return nil, fmt.Errorf("shuffle: %s missing %d block(s), first %+v", holder, len(resp.Missing), resp.Missing[0])
 		}
 		return resp.Blocks, nil
-	case <-time.After(timeout):
+	case <-timer.C:
 		f.abandon(id)
 		return nil, fmt.Errorf("shuffle: fetch from %s timed out after %v", holder, timeout)
 	}
+}
+
+// FetchAll fetches blocks from every holder concurrently — the pipelined
+// counterpart of calling Fetch per holder in sequence, which would stack
+// one network round trip per holder onto the task's critical path. Results
+// are concatenated in sorted holder order so callers see a deterministic
+// layout; the first error (by that same order) wins after all fetches have
+// settled, each bounded by timeout.
+func (f *Fetcher) FetchAll(byHolder map[rpc.NodeID][]BlockID, timeout time.Duration) ([]Block, error) {
+	if len(byHolder) == 0 {
+		return nil, nil
+	}
+	holders := make([]rpc.NodeID, 0, len(byHolder))
+	for h := range byHolder {
+		holders = append(holders, h)
+	}
+	if len(holders) == 1 {
+		return f.Fetch(holders[0], byHolder[holders[0]], timeout)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	results := make([][]Block, len(holders))
+	errs := make([]error, len(holders))
+	var wg sync.WaitGroup
+	for i, h := range holders {
+		wg.Add(1)
+		go func(i int, h rpc.NodeID) {
+			defer wg.Done()
+			results[i], errs[i] = f.Fetch(h, byHolder[h], timeout)
+		}(i, h)
+	}
+	wg.Wait()
+	var out []Block
+	for i := range holders {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
 }
 
 func (f *Fetcher) abandon(id uint64) {

@@ -230,3 +230,77 @@ var errTest = &testError{}
 type testError struct{}
 
 func (*testError) Error() string { return "wrong blocks" }
+
+// multiHolderHarness wires one fetcher against several holder services.
+func multiHolderHarness(t *testing.T, holders ...rpc.NodeID) (map[rpc.NodeID]*Store, *Fetcher) {
+	t.Helper()
+	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
+	t.Cleanup(net.Close)
+	stores := make(map[rpc.NodeID]*Store, len(holders))
+	for _, h := range holders {
+		h := h
+		store := NewStore()
+		stores[h] = store
+		svc := NewService(store, func(to rpc.NodeID, msg any) error { return net.Send(h, to, msg) })
+		if err := net.Register(h, func(_ rpc.NodeID, msg any) {
+			if req, ok := msg.(FetchRequest); ok {
+				svc.HandleRequest(req)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fetcher := NewFetcher("asker", func(to rpc.NodeID, msg any) error { return net.Send("asker", to, msg) })
+	if err := net.Register("asker", func(_ rpc.NodeID, msg any) {
+		if resp, ok := msg.(FetchResponse); ok {
+			fetcher.HandleResponse(resp)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return stores, fetcher
+}
+
+func TestFetchAllMergesHoldersInOrder(t *testing.T) {
+	stores, fetcher := multiHolderHarness(t, "h1", "h2", "h3")
+	req := make(map[rpc.NodeID][]BlockID)
+	for i, h := range []rpc.NodeID{"h1", "h2", "h3"} {
+		id := BlockID{Batch: int64(i), MapPartition: i}
+		stores[h].Put(id, []data.Record{{Key: uint64(i), Val: int64(10 * i)}})
+		req[h] = []BlockID{id}
+	}
+	blocks, err := fetcher.FetchAll(req, time.Second)
+	if err != nil {
+		t.Fatalf("FetchAll: %v", err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("FetchAll returned %d blocks, want 3", len(blocks))
+	}
+	// Holder order is sorted, so blocks arrive h1, h2, h3.
+	for i, b := range blocks {
+		if b.ID.Batch != int64(i) {
+			t.Fatalf("block %d is %+v, want Batch=%d (sorted holder order)", i, b.ID, i)
+		}
+	}
+}
+
+func TestFetchAllPropagatesError(t *testing.T) {
+	stores, fetcher := multiHolderHarness(t, "h1", "h2")
+	ok := BlockID{Batch: 1}
+	stores["h1"].Put(ok, []data.Record{{Key: 1, Val: 1}})
+	req := map[rpc.NodeID][]BlockID{
+		"h1": {ok},
+		"h2": {{Batch: 99}}, // missing on h2
+	}
+	if _, err := fetcher.FetchAll(req, time.Second); err == nil {
+		t.Fatal("FetchAll with a missing block succeeded")
+	}
+}
+
+func TestFetchAllEmpty(t *testing.T) {
+	_, fetcher := multiHolderHarness(t, "h1")
+	blocks, err := fetcher.FetchAll(nil, time.Second)
+	if err != nil || blocks != nil {
+		t.Fatalf("FetchAll(nil) = %v, %v", blocks, err)
+	}
+}
