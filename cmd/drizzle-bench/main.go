@@ -113,6 +113,9 @@ func experiments() []experiment {
 		{"elasticity", "Scale-up at a group boundary (§3.3)", func(q bool) (*bench.Report, error) {
 			return bench.ElasticityExperiment(yahooOpts(q))
 		}},
+		{"straggler", "Straggler mitigation: one worker slowed 8x, speculation off vs on", func(q bool) (*bench.Report, error) {
+			return bench.StragglerExperiment(yahooOpts(q))
+		}},
 		{"groupsweep", "Group-size ablation on the real engine (§3.1/§3.4)", func(q bool) (*bench.Report, error) {
 			o := bench.DefaultGroupSweepOpts()
 			o.Yahoo = yahooOpts(q)

@@ -43,6 +43,7 @@ func main() {
 		mode    = flag.String("mode", "drizzle", "scheduling mode: drizzle or bsp")
 		group   = flag.Int("group", 10, "group size (drizzle mode)")
 		tune    = flag.Bool("autotune", false, "enable AIMD group-size tuning")
+		spec    = flag.Bool("speculation", false, "enable straggler mitigation (speculative copies + health-weighted placement)")
 		workers workerList
 	)
 	flag.Var(&workers, "worker", "worker id=addr (repeatable)")
@@ -54,6 +55,7 @@ func main() {
 	cfg := engine.DefaultConfig()
 	cfg.GroupSize = *group
 	cfg.AutoTune = *tune
+	cfg.Speculation = *spec
 	cfg.CheckpointEvery = 1
 	cfg.HeartbeatInterval = 200 * time.Millisecond
 	cfg.HeartbeatTimeout = 2 * time.Second
@@ -97,6 +99,10 @@ func main() {
 	fmt.Printf("coordination %v, execution %v, groups %v\n",
 		stats.Coord.Round(time.Millisecond), stats.Exec.Round(time.Millisecond), stats.Groups)
 	fmt.Printf("task run times: %s\n", stats.TaskRun.Summary())
+	if cfg.Speculation {
+		fmt.Printf("speculation: launched %d, won %d, wasted %d, killed %d\n",
+			stats.SpeculationLaunched, stats.SpeculationWon, stats.SpeculationWasted, stats.SpeculationKilled)
+	}
 	if len(stats.TunerTrace) > 0 {
 		last := stats.TunerTrace[len(stats.TunerTrace)-1]
 		fmt.Printf("tuner: final group %d at %.1f%% overhead\n", last.Group, last.Overhead*100)

@@ -22,12 +22,14 @@ func main() {
 		driver    = flag.String("driver", "127.0.0.1:7100", "driver address")
 		slots     = flag.Int("slots", 4, "executor slots")
 		heartbeat = flag.Duration("heartbeat", 200*time.Millisecond, "heartbeat interval (must be well under the driver's heartbeat timeout)")
+		slowdown  = flag.Float64("slowdown", 0, "multiply this worker's task service time (testing aid for straggler mitigation; <=1 runs at full speed)")
 	)
 	flag.Parse()
 
 	cfg := engine.DefaultConfig()
 	cfg.SlotsPerWorker = *slots
 	cfg.HeartbeatInterval = *heartbeat
+	cfg.Slowdown = *slowdown
 
 	reg := engine.NewRegistry()
 	if err := jobs.RegisterBuiltin(reg); err != nil {

@@ -380,6 +380,57 @@ func TunerExperiment(o YahooOpts) (*Report, error) {
 	return r, nil
 }
 
+// StragglerExperiment slows one worker 8x partway through the run and
+// compares tail latency with speculation off versus on. With mitigation
+// enabled the driver should launch speculative copies, the health tracker
+// should down-weight the slow worker, and the p95/p99 tail should sit well
+// under the unmitigated run's.
+func StragglerExperiment(o YahooOpts) (*Report, error) {
+	r := NewReport("Straggler mitigation",
+		"One worker slowed 8x mid-run: window latency percentiles (ms), speculation off vs on")
+	base := o.Stream
+	base.Mode = engine.ModeDrizzle
+	base.GroupSize = o.DrizzleGroup
+	wall := time.Duration(base.Batches) * base.Interval
+	base.SlowWorkerAt = wall / 4
+	base.SlowFactor = 8
+
+	run := func(spec bool) (*StreamResult, error) {
+		s := base
+		s.Speculation = spec
+		return RunMicroBatch(YahooStreamJob(o.yahoo()), s)
+	}
+	off, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("speculation off: %w", err)
+	}
+	off.System = "spec-off"
+	on, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("speculation on: %w", err)
+	}
+	on.System = "spec-on"
+
+	r.Printf("worker w0 slowed 8x at %.1fs of %.1fs", base.SlowWorkerAt.Seconds(), wall.Seconds())
+	latencyRows(r, off, on)
+	r.Printf("")
+	st := on.Stats
+	r.Printf("speculation: launched %d, won %d, wasted %d, killed %d",
+		st.SpeculationLaunched, st.SpeculationWon, st.SpeculationWasted, st.SpeculationKilled)
+	for id, h := range st.Health {
+		r.Printf("health[%s]: %s ewma=%.1fms samples=%d failures=%d stragglers=%d weight=%.2f",
+			id, h.State, h.EWMAMillis, h.Samples, h.Failures, h.Stragglers, h.Weight)
+	}
+	for _, p := range []float64{0.95, 0.99} {
+		ratio := off.Hist.Quantile(p) / maxf(on.Hist.Quantile(p), 1)
+		r.Printf("p%.0f improvement: %.2fx", p*100, ratio)
+		r.Record(fmt.Sprintf("improvement/p%.0f", p*100), ratio)
+	}
+	r.Record("launched", float64(st.SpeculationLaunched))
+	r.Record("won", float64(st.SpeculationWon))
+	return r, nil
+}
+
 // ElasticityExperiment grows the cluster mid-run (§3.3): the new worker
 // joins at a group boundary and per-batch execution time drops.
 func ElasticityExperiment(o YahooOpts) (*Report, error) {

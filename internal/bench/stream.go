@@ -70,6 +70,14 @@ type StreamOpts struct {
 	FailAt time.Duration
 	// AddWorkerAt adds one worker at this offset (0 = never).
 	AddWorkerAt time.Duration
+	// SlowWorkerAt slows one worker's task execution by SlowFactor at this
+	// offset (0 = never): a straggler, not a failure — the worker stays
+	// alive and heartbeating.
+	SlowWorkerAt time.Duration
+	// SlowFactor is the service-time multiplier for SlowWorkerAt.
+	SlowFactor float64
+	// Speculation enables straggler mitigation in the micro-batch engines.
+	Speculation bool
 }
 
 // DefaultStreamOpts is the laptop-scale equivalent of the paper's cluster
@@ -130,6 +138,13 @@ func RunMicroBatch(job StreamJob, o StreamOpts) (*StreamResult, error) {
 	cfg.HeartbeatTimeout = 250 * time.Millisecond
 	cfg.FetchTimeout = 500 * time.Millisecond
 	cfg.StallResend = 3 * time.Second
+	cfg.Speculation = o.Speculation
+
+	var faults *rpc.FaultPlan
+	if o.SlowWorkerAt > 0 {
+		faults = rpc.NewFaultPlan(1)
+		net.SetFaultPlan(faults)
+	}
 
 	driver := engine.NewDriver("driver", net, reg, cfg, nil)
 	if err := driver.Start(); err != nil {
@@ -184,6 +199,17 @@ func RunMicroBatch(job StreamJob, o StreamOpts) (*StreamResult, error) {
 			net.Fail(victim.ID())
 			go victim.Stop()
 		})
+	}
+	if o.SlowWorkerAt > 0 {
+		factor := o.SlowFactor
+		if factor <= 1 {
+			factor = 8
+		}
+		// Slow the first worker; FailAt targets the last, so the two faults
+		// compose without colliding on a victim.
+		victim := workers[0].ID()
+		timer := time.AfterFunc(o.SlowWorkerAt, func() { faults.SetSlow(victim, factor) })
+		defer timer.Stop()
 	}
 	if o.AddWorkerAt > 0 {
 		timer := time.AfterFunc(o.AddWorkerAt, func() {

@@ -46,17 +46,24 @@ const (
 	EventBlock
 	// EventUnblock removes a one-way partition installed by EventBlock.
 	EventUnblock
-	// EventHealAll clears every probabilistic rule and every partition;
-	// scenarios schedule it late in the run so recovery can converge.
+	// EventHealAll clears every probabilistic rule, every partition, and
+	// every slow-worker fault; scenarios schedule it late in the run so
+	// recovery can converge.
 	EventHealAll
+	// EventSlowWorker multiplies Node's task service time by Factor — a
+	// degraded-but-alive machine (straggler), not a dead one. Heartbeats
+	// keep flowing, so only speculation or health-weighted placement can
+	// route around it.
+	EventSlowWorker
 )
 
 // Event is one scripted structural change, fired At after the run starts.
 type Event struct {
 	At       time.Duration
 	Kind     EventKind
-	Node     rpc.NodeID // EventKillWorker / EventAddWorker target
+	Node     rpc.NodeID // EventKillWorker / EventAddWorker / EventSlowWorker target
 	From, To rpc.NodeID // EventBlock / EventUnblock link
+	Factor   float64    // EventSlowWorker service-time multiplier
 }
 
 // Scenario fully describes one chaos run. The zero value of most fields is
@@ -84,6 +91,15 @@ type Scenario struct {
 	// rules make individual attempts fail routinely; exhausting it aborts
 	// the run and is reported as a violation.
 	MaxTaskAttempts int
+	// TaskCost adds real per-task compute to every map task, so a
+	// slow-worker multiplier stretches something observable and the
+	// straggler detector has a meaningful median to compare against.
+	TaskCost time.Duration
+	// Speculation enables the engine's straggler mitigation for this run.
+	// The oracle invariants must hold regardless: speculative duplicates
+	// are exactly the kind of redundant completion the idempotent sink and
+	// state-store dedup exist to absorb.
+	Speculation bool
 
 	// Rules are installed on the FaultPlan before the run starts and stay
 	// active until cleared by an EventHealAll.
@@ -136,7 +152,7 @@ func (sc Scenario) withDefaults() Scenario {
 // failure detection and retry, so runs converge within the wall deadline
 // even when the tail of the run has to repair fault-era damage.
 func (sc Scenario) engineConfig() engine.Config {
-	return engine.Config{
+	cfg := engine.Config{
 		Mode:              sc.Mode,
 		GroupSize:         sc.GroupSize,
 		SlotsPerWorker:    sc.SlotsPerWorker,
@@ -148,6 +164,18 @@ func (sc Scenario) engineConfig() engine.Config {
 		MaxTaskAttempts:   sc.MaxTaskAttempts,
 		RetryDelay:        40 * time.Millisecond,
 	}
+	if sc.Speculation {
+		cfg.Speculation = true
+		cfg.SpeculationMultiplier = 2.5
+		cfg.SpeculationMinRuntime = 25 * time.Millisecond
+		if floor := 3 * sc.TaskCost; floor > cfg.SpeculationMinRuntime {
+			cfg.SpeculationMinRuntime = floor
+		}
+		cfg.SpeculationMinCompleted = 6
+		cfg.SpeculationInterval = 20 * time.Millisecond
+		cfg.SpeculationMaxConcurrent = 8
+	}
+	return cfg
 }
 
 // span is the nominal streaming duration: the wall time the batches cover.
@@ -156,9 +184,15 @@ func (sc Scenario) span() time.Duration {
 }
 
 // wallDeadline bounds the run: nominal span, plus up to one window of start
-// alignment, plus generous slack for recovery tails under -race.
+// alignment, plus generous slack for recovery tails under -race. Real
+// per-task compute extends it by the worst case of every map task running
+// serially on one heavily slowed worker.
 func (sc Scenario) wallDeadline() time.Duration {
-	return sc.span() + time.Duration(sc.WindowBatches)*sc.Interval + 15*time.Second
+	d := sc.span() + time.Duration(sc.WindowBatches)*sc.Interval + 15*time.Second
+	if sc.TaskCost > 0 {
+		d += time.Duration(sc.Batches*sc.MapParts*10) * sc.TaskCost
+	}
+	return d
 }
 
 // Report is the outcome of one Run. Violations is empty iff every oracle
@@ -194,12 +228,16 @@ func (r *Report) Err() error {
 // Summary is a one-line human description of the run, for verbose test
 // output.
 func (r *Report) Summary() string {
-	s := fmt.Sprintf("seed=%d mode=%v workers=%d batches=%d killed=%d added=%d windows=%d faults={drop=%d dup=%d reorder=%d delay=%d block=%d}",
+	s := fmt.Sprintf("seed=%d mode=%v workers=%d batches=%d killed=%d added=%d windows=%d faults={drop=%d dup=%d reorder=%d delay=%d block=%d slow=%d}",
 		r.Scenario.Seed, r.Scenario.Mode, r.Scenario.Workers, r.Scenario.Batches,
 		len(r.Killed), len(r.Added), r.Windows,
-		r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Reordered, r.Faults.Delayed, r.Faults.Blocked)
+		r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Reordered, r.Faults.Delayed, r.Faults.Blocked, r.Faults.Slowed)
 	if r.Stats != nil {
 		s += fmt.Sprintf(" wall=%v failures=%d resubmits=%d", r.Stats.Wall.Round(time.Millisecond), r.Stats.Failures, r.Stats.Resubmits)
+		if r.Scenario.Speculation {
+			s += fmt.Sprintf(" spec={launched=%d won=%d wasted=%d killed=%d}",
+				r.Stats.SpeculationLaunched, r.Stats.SpeculationWon, r.Stats.SpeculationWasted, r.Stats.SpeculationKilled)
+		}
 	}
 	return s
 }
@@ -255,9 +293,12 @@ func (c *cluster) apply(ev Event, rep *Report) {
 		c.plan.Block(ev.From, ev.To)
 	case EventUnblock:
 		c.plan.Unblock(ev.From, ev.To)
+	case EventSlowWorker:
+		c.plan.SetSlow(ev.Node, ev.Factor)
 	case EventHealAll:
 		c.plan.ClearRules()
 		c.plan.UnblockAll()
+		c.plan.ClearSlow()
 	}
 }
 
@@ -334,10 +375,19 @@ func Run(sc Scenario) *Report {
 	go func() {
 		defer evWG.Done()
 		start := time.Now()
+		// One reusable timer for the whole timeline instead of a time.After
+		// allocation per event (each would pin its duration's worth of heap
+		// until expiry even after the run ends).
+		wait := time.NewTimer(time.Hour)
+		if !wait.Stop() {
+			<-wait.C
+		}
+		defer wait.Stop()
 		for _, ev := range events {
 			if d := time.Until(start.Add(ev.At)); d > 0 {
+				wait.Reset(d)
 				select {
-				case <-time.After(d):
+				case <-wait.C:
 				case <-stopEvents:
 					return
 				}

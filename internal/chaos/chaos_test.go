@@ -158,6 +158,36 @@ func TestChaosDroppedRestores(t *testing.T) {
 	checkClean(t, sc)
 }
 
+// TestChaosSlowWorker slows one worker's task execution 8x mid-run with
+// speculation enabled: the run must still match the sequential oracle (the
+// idempotent sink and state-store dedup absorb duplicate completions from
+// speculative copies), and the speculation ledger must balance — every
+// launched copy either won or was written off, never both, never neither.
+func TestChaosSlowWorker(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "slow-worker", Seed: 8, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+		TaskCost: 4 * time.Millisecond, Speculation: true,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 25 / 100, Kind: EventSlowWorker, Node: "w1", Factor: 8},
+		{At: span * 80 / 100, Kind: EventHealAll},
+	}
+	rep := checkClean(t, sc)
+	if rep.Faults.Slowed == 0 {
+		t.Error("slow-worker fault never engaged; no task was stretched")
+	}
+	if rep.Stats != nil {
+		st := rep.Stats
+		if st.SpeculationLaunched != st.SpeculationWon+st.SpeculationWasted {
+			t.Errorf("speculation ledger out of balance: launched=%d won=%d wasted=%d",
+				st.SpeculationLaunched, st.SpeculationWon, st.SpeculationWasted)
+		}
+	}
+}
+
 // TestChaosBSPWithFaults exercises the BSP scheduler's per-stage barriers
 // under kill plus moderate message loss.
 func TestChaosBSPWithFaults(t *testing.T) {

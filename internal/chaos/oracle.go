@@ -51,6 +51,18 @@ func chaosSource(seed int64, numKeys, repeats int) dag.SourceFunc {
 // windowJob builds the scenario's two-stage job: deterministic source ->
 // shuffle -> windowed sum into the conflict-detecting sink.
 func windowJob(sc Scenario, sink *oracleSink) *dag.Job {
+	// TaskCost becomes a pass-through narrow op that burns real wall time in
+	// each map task. The sequential oracle is unaffected (expectedWindows
+	// consumes the source directly), but a slow-worker multiplier now
+	// stretches something measurable so the straggler detector can fire.
+	var ops []dag.NarrowOp
+	if sc.TaskCost > 0 {
+		cost := sc.TaskCost
+		ops = append(ops, func(recs []data.Record) []data.Record {
+			time.Sleep(cost)
+			return recs
+		})
+	}
 	return &dag.Job{
 		Name:     jobName,
 		Interval: sc.Interval,
@@ -59,6 +71,7 @@ func windowJob(sc Scenario, sink *oracleSink) *dag.Job {
 				ID:            0,
 				NumPartitions: sc.MapParts,
 				Source:        chaosSource(sc.Seed, sc.NumKeys, sc.Repeats),
+				Ops:           ops,
 				Shuffle:       &dag.ShuffleSpec{NumReducers: sc.ReduceParts},
 			},
 			{

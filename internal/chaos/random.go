@@ -73,6 +73,21 @@ func RandomScenario(seed int64) Scenario {
 		})
 	}
 
+	// A third of scenarios run with real per-task compute, speculation on,
+	// and one worker slowed mid-run: the straggler path (speculative copies,
+	// kills, health-weighted placement) must preserve exactly-once under the
+	// same link chaos as everything else. A slow worker costs no structural
+	// budget — it stays alive and heartbeating throughout.
+	if rng.Intn(3) == 0 {
+		sc.TaskCost = time.Duration(3+rng.Intn(4)) * time.Millisecond
+		sc.Speculation = true
+		slow := rpc.NodeID(fmt.Sprintf("w%d", rng.Intn(sc.Workers)))
+		sc.Events = append(sc.Events, Event{
+			At: frac(0.15, 0.45), Kind: EventSlowWorker, Node: slow,
+			Factor: 4 + 6*rng.Float64(),
+		})
+	}
+
 	// Structural events. Placement requires a non-empty worker set, so the
 	// combined budget of kills and possibly-fatal partitions is Workers-2.
 	budget := sc.Workers - 2

@@ -198,6 +198,13 @@ func (e *Engine) Run(duration time.Duration) Stats {
 
 	deadline := time.NewTimer(duration)
 	defer deadline.Stop()
+	// Reusable recovery-pause timer, re-armed per failure instead of a
+	// time.After allocation each time.
+	pause := time.NewTimer(time.Hour)
+	if !pause.Stop() {
+		<-pause.C
+	}
+	defer pause.Stop()
 
 	for {
 		inc := e.startIncarnation()
@@ -217,7 +224,7 @@ func (e *Engine) Run(duration time.Duration) Stats {
 			e.mu.Lock()
 			e.stats.Recoveries++
 			e.mu.Unlock()
-			wait := e.cfg.DetectDelay + e.cfg.RestartDelay
+			pause.Reset(e.cfg.DetectDelay + e.cfg.RestartDelay)
 			select {
 			case <-deadline.C:
 				e.mu.Lock()
@@ -225,7 +232,7 @@ func (e *Engine) Run(duration time.Duration) Stats {
 				out := e.stats
 				e.mu.Unlock()
 				return out
-			case <-time.After(wait):
+			case <-pause.C:
 			}
 		}
 	}

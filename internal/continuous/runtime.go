@@ -124,6 +124,14 @@ func (inc *incarnation) sourceLoop(idx int, pos int64) {
 	e := inc.e
 	flush := int64(e.cfg.FlushInterval)
 	part := data.NewHashPartitioner(e.top.WindowParallelism)
+	// Reusable pacing timer: this loop fires every FlushInterval for the
+	// whole run, and a time.After per iteration would allocate a timer the
+	// runtime keeps until expiry.
+	pace := time.NewTimer(time.Hour)
+	if !pace.Stop() {
+		<-pace.C
+	}
+	defer pace.Stop()
 	for {
 		// Inject any pending barrier before the next slice so checkpoints
 		// do not wait on pacing.
@@ -143,9 +151,13 @@ func (inc *incarnation) sourceLoop(idx int, pos int64) {
 
 		target := pos + flush
 		if wait := time.Until(time.Unix(0, target)); wait > 0 {
+			pace.Reset(wait)
 			select {
-			case <-time.After(wait):
+			case <-pace.C:
 			case <-inc.stopCh:
+				if !pace.Stop() {
+					<-pace.C
+				}
 				return
 			}
 		}
@@ -290,6 +302,13 @@ func (inc *incarnation) coordinator(lastID int64) {
 	e := inc.e
 	t := time.NewTicker(e.cfg.CheckpointInterval)
 	defer t.Stop()
+	// Reusable ack-collection timeout, re-armed per attempt instead of a
+	// fresh time.After allocation every tick.
+	timeout := time.NewTimer(time.Hour)
+	if !timeout.Stop() {
+		<-timeout.C
+	}
+	defer timeout.Stop()
 	nextID := lastID + 1
 	for {
 		select {
@@ -310,11 +329,14 @@ func (inc *incarnation) coordinator(lastID int64) {
 		// timeout (the next tick retries with a new id).
 		snaps := make([]opSnapshot, e.top.WindowParallelism)
 		need := e.top.WindowParallelism
-		timeout := time.After(e.cfg.CheckpointInterval * 4)
+		timeout.Reset(e.cfg.CheckpointInterval * 4)
 		ok := true
 		for need > 0 && ok {
 			select {
 			case <-inc.stopCh:
+				if !timeout.Stop() {
+					<-timeout.C
+				}
 				return
 			case a := <-inc.ackCh:
 				if a.barrierID != id {
@@ -322,9 +344,12 @@ func (inc *incarnation) coordinator(lastID int64) {
 				}
 				snaps[a.op] = a.snap
 				need--
-			case <-timeout:
+			case <-timeout.C:
 				ok = false
 			}
+		}
+		if ok && !timeout.Stop() {
+			<-timeout.C
 		}
 		if !ok {
 			continue

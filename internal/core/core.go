@@ -60,6 +60,11 @@ type Dep struct {
 type TaskDescriptor struct {
 	Job string
 	ID  TaskID
+	// Attempt distinguishes redundant copies of the same task: the original
+	// is attempt 0 and each speculative copy gets the next number. The pair
+	// (ID, Attempt) is what KillTask names when first-result-wins commit
+	// cancels the loser.
+	Attempt int
 	// NotBefore, for source tasks, is the wall-clock close time of the
 	// micro-batch in unix nanoseconds: the task must not run before the
 	// batch's input interval has elapsed. Zero means run when ready.

@@ -194,6 +194,30 @@ func (ls *LocalScheduler) Cancel(ids []TaskID) []TaskID {
 	return cancelled
 }
 
+// CancelAttempts removes queued tasks matching both ID and attempt number,
+// returning the attempts actually cancelled. A pending entry with a
+// different attempt (e.g. a speculative copy when the kill names the
+// original) is left alone.
+func (ls *LocalScheduler) CancelAttempts(tas []TaskAttempt) []TaskAttempt {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	var cancelled []TaskAttempt
+	for _, ta := range tas {
+		pt, ok := ls.pending[ta.ID]
+		if !ok || pt.desc.Attempt != ta.Attempt {
+			continue
+		}
+		pt.released = true // poisons any waiter entries
+		delete(ls.pending, ta.ID)
+		if t, ok := ls.timers[ta.ID]; ok {
+			t.Stop()
+			delete(ls.timers, ta.ID)
+		}
+		cancelled = append(cancelled, ta)
+	}
+	return cancelled
+}
+
 // InvalidateHolders removes dependency locations whose holder is no longer
 // alive. Pending tasks that had counted such a location go back to waiting:
 // the driver will re-run the lost map task, and its new DataReady (or a

@@ -27,6 +27,12 @@ type MembershipUpdate struct {
 	// Addrs carries worker addresses for transports that need routing
 	// tables (TCP); the in-process transport ignores it.
 	Addrs map[rpc.NodeID]string
+	// Weights carries the driver's health-derived placement weights. They
+	// must travel with membership — workers compute placement locally, so a
+	// weight change is a placement change and needs the same epoch-bumped
+	// broadcast as a membership change. Nil or uniform weights reproduce
+	// unweighted rendezvous hashing exactly.
+	Weights map[rpc.NodeID]float64
 }
 
 // LaunchTasks delivers a bundle of task descriptors to one worker — the
@@ -59,12 +65,31 @@ type DataReady struct {
 	Size   int64
 }
 
+// KillTask tells a worker to abandon specific task attempts: dequeue them
+// if still pending, and suppress their status reports if already running
+// (execution itself is not interrupted mid-op — batch dedup in the state
+// store makes a completed loser harmless, killing just frees the slot's
+// report path and the driver's books). Sent when first-result-wins commit
+// picks a winner between an original attempt and its speculative copy.
+type KillTask struct {
+	Tasks []TaskAttempt
+}
+
+// TaskAttempt names one attempt of one task.
+type TaskAttempt struct {
+	ID      TaskID
+	Attempt int
+}
+
 // TaskStatus is the asynchronous task completion report to the driver.
 type TaskStatus struct {
 	ID     TaskID
 	Worker rpc.NodeID
-	OK     bool
-	Err    string
+	// Attempt echoes the descriptor's attempt number so the driver can
+	// attribute the report to the original (0) or a speculative copy (>0).
+	Attempt int
+	OK      bool
+	Err     string
 	// NeedsJob marks a failure caused by the worker not knowing the job
 	// (its SubmitJob was lost); the driver re-sends the job and retries
 	// without charging the task an attempt.
@@ -128,6 +153,7 @@ func init() {
 	rpc.RegisterType(MembershipUpdate{})
 	rpc.RegisterType(LaunchTasks{})
 	rpc.RegisterType(CancelTasks{})
+	rpc.RegisterType(KillTask{})
 	rpc.RegisterType(DataReady{})
 	rpc.RegisterType(TaskStatus{})
 	rpc.RegisterType(Heartbeat{})

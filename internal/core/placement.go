@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"drizzle/internal/rpc"
@@ -19,17 +20,82 @@ type Placement struct {
 	epoch   int64
 	workers []rpc.NodeID // sorted for determinism
 	index   map[rpc.NodeID]bool
+	// weights, when non-nil, are per-worker placement capacities for
+	// weighted rendezvous hashing; the driver derives them from worker
+	// health so degraded machines attract fewer (weight < 1) or no
+	// (weight 0) partitions. weighted is false when the weights are absent
+	// or uniform, in which case Assign takes the exact unweighted path so
+	// pre-health placements are bit-for-bit unchanged.
+	weights  map[rpc.NodeID]float64
+	weighted bool
 }
 
 // NewPlacement builds a placement over the given live workers.
 func NewPlacement(epoch int64, workers []rpc.NodeID) Placement {
+	return NewWeightedPlacement(epoch, workers, nil)
+}
+
+// NewWeightedPlacement builds a placement over the given live workers with
+// per-worker weights. Workers missing from the map get weight 1; weight 0
+// excludes a worker from Assign (it stays in the live set for lineage and
+// broadcasts). Nil or uniform non-zero weights — including the degenerate
+// all-zero map, which would otherwise leave nothing to assign to — fall
+// back to plain rendezvous hashing.
+func NewWeightedPlacement(epoch int64, workers []rpc.NodeID, weights map[rpc.NodeID]float64) Placement {
 	ws := append([]rpc.NodeID(nil), workers...)
 	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
 	idx := make(map[rpc.NodeID]bool, len(ws))
 	for _, w := range ws {
 		idx[w] = true
 	}
-	return Placement{epoch: epoch, workers: ws, index: idx}
+	p := Placement{epoch: epoch, workers: ws, index: idx}
+	if len(weights) == 0 || len(ws) == 0 {
+		return p
+	}
+	uniform, anyPositive := true, false
+	first := weightOf(weights, ws[0])
+	for _, w := range ws {
+		wt := weightOf(weights, w)
+		if wt != first {
+			uniform = false
+		}
+		if wt > 0 {
+			anyPositive = true
+		}
+	}
+	if uniform || !anyPositive {
+		return p
+	}
+	wcopy := make(map[rpc.NodeID]float64, len(weights))
+	for k, v := range weights {
+		wcopy[k] = v
+	}
+	p.weights = wcopy
+	p.weighted = true
+	return p
+}
+
+func weightOf(weights map[rpc.NodeID]float64, w rpc.NodeID) float64 {
+	wt, ok := weights[w]
+	if !ok {
+		return 1
+	}
+	if wt < 0 {
+		return 0
+	}
+	return wt
+}
+
+// Weights returns the placement's weight map (nil when unweighted).
+func (p Placement) Weights() map[rpc.NodeID]float64 {
+	if p.weights == nil {
+		return nil
+	}
+	out := make(map[rpc.NodeID]float64, len(p.weights))
+	for k, v := range p.weights {
+		out[k] = v
+	}
+	return out
 }
 
 // Epoch returns the membership epoch this placement was derived from.
@@ -53,6 +119,9 @@ func (p Placement) Assign(stage, partition int) rpc.NodeID {
 	if len(p.workers) == 0 {
 		panic("core: placement over empty worker set")
 	}
+	if p.weighted {
+		return p.assignWeighted(stage, partition)
+	}
 	var (
 		best      rpc.NodeID
 		bestScore uint64
@@ -62,6 +131,40 @@ func (p Placement) Assign(stage, partition int) rpc.NodeID {
 		if best == "" || s > bestScore || (s == bestScore && w < best) {
 			best, bestScore = w, s
 		}
+	}
+	return best
+}
+
+// assignWeighted is weighted rendezvous hashing (highest -w/ln(u) wins):
+// a worker with twice the weight owns, in expectation, twice the
+// partitions, and weight-0 workers own none. The uniform hash u comes from
+// the same per-(worker,stage,partition) 64-bit score the unweighted path
+// compares directly, so the choice is equally deterministic across nodes;
+// float64 math on identical inputs is identical everywhere Go runs.
+func (p Placement) assignWeighted(stage, partition int) rpc.NodeID {
+	var (
+		best      rpc.NodeID
+		bestScore float64
+	)
+	for _, w := range p.workers {
+		wt := weightOf(p.weights, w)
+		if wt <= 0 {
+			continue
+		}
+		// Map the hash to u in (0,1): the +0.5 / 2^53 construction cannot
+		// produce exactly 0 or 1, keeping ln(u) finite and negative.
+		h := rendezvousScore(w, stage, partition)
+		u := (float64(h>>11) + 0.5) / (1 << 53)
+		s := -wt / math.Log(u)
+		if best == "" || s > bestScore || (s == bestScore && w < best) {
+			best, bestScore = w, s
+		}
+	}
+	if best == "" {
+		// All positive-weight workers filtered out (cannot happen — the
+		// constructor falls back to unweighted when no weight is positive)
+		// but never return "" to a scheduler.
+		return p.workers[0]
 	}
 	return best
 }

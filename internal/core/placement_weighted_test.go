@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"drizzle/internal/rpc"
+)
+
+func testWorkers(n int) []rpc.NodeID {
+	ws := make([]rpc.NodeID, n)
+	for i := range ws {
+		ws[i] = rpc.NodeID(string(rune('a' + i)))
+	}
+	return ws
+}
+
+// Nil and uniform weight maps must take the exact legacy code path: health
+// tracking being enabled must not move a single partition on a healthy
+// cluster.
+func TestWeightedPlacementUniformMatchesLegacy(t *testing.T) {
+	workers := testWorkers(5)
+	legacy := NewPlacement(7, workers)
+	cases := map[string]map[rpc.NodeID]float64{
+		"nil":      nil,
+		"uniform1": {"a": 1, "b": 1, "c": 1, "d": 1, "e": 1},
+		"uniform½": {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5, "e": 0.5},
+		"allzero":  {"a": 0, "b": 0, "c": 0, "d": 0, "e": 0},
+		"partial1": {"a": 1, "c": 1}, // missing entries default to 1 → uniform
+	}
+	for name, weights := range cases {
+		p := NewWeightedPlacement(7, workers, weights)
+		if p.Weights() != nil {
+			t.Errorf("%s: placement kept a weight map, want unweighted fallback", name)
+		}
+		for stage := 0; stage < 4; stage++ {
+			for part := 0; part < 32; part++ {
+				if got, want := p.Assign(stage, part), legacy.Assign(stage, part); got != want {
+					t.Fatalf("%s: Assign(%d,%d)=%s, legacy=%s", name, stage, part, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedPlacementExcludesZeroWeight(t *testing.T) {
+	workers := testWorkers(4)
+	p := NewWeightedPlacement(1, workers, map[rpc.NodeID]float64{"b": 0})
+	if !p.Contains("b") {
+		t.Fatal("zero-weight worker must stay in the live set")
+	}
+	for stage := 0; stage < 3; stage++ {
+		for part := 0; part < 64; part++ {
+			if got := p.Assign(stage, part); got == "b" {
+				t.Fatalf("Assign(%d,%d) chose the zero-weight worker", stage, part)
+			}
+		}
+	}
+}
+
+func TestWeightedPlacementBias(t *testing.T) {
+	workers := testWorkers(3)
+	// "a" has 4x the weight of the others: over many partitions it must own
+	// clearly more than a uniform share, and the degraded workers clearly
+	// fewer. The tolerance is loose — this checks the bias direction and
+	// rough magnitude, not the estimator's variance.
+	p := NewWeightedPlacement(1, workers, map[rpc.NodeID]float64{"a": 1, "b": 0.25, "c": 0.25})
+	counts := map[rpc.NodeID]int{}
+	const parts = 600
+	for part := 0; part < parts; part++ {
+		counts[p.Assign(0, part)]++
+	}
+	// Expected shares: a 2/3, b and c 1/6 each.
+	if counts["a"] < parts/2 {
+		t.Errorf("weight-1 worker owns %d/%d partitions, want a clear majority", counts["a"], parts)
+	}
+	for _, w := range []rpc.NodeID{"b", "c"} {
+		if counts[w] == 0 {
+			t.Errorf("weight-0.25 worker %s owns nothing; reduced weight must not mean exclusion", w)
+		}
+		if counts[w] > parts/3 {
+			t.Errorf("weight-0.25 worker %s owns %d/%d partitions, more than a uniform share", w, counts[w], parts)
+		}
+	}
+}
+
+func TestWeightedPlacementDeterministic(t *testing.T) {
+	workers := testWorkers(5)
+	weights := map[rpc.NodeID]float64{"a": 1, "b": 0.25, "c": 0, "d": 1, "e": 0.25}
+	p1 := NewWeightedPlacement(3, workers, weights)
+	// Shuffled membership order and an independently built (equal) weight
+	// map must produce the identical assignment on every node.
+	shuffled := []rpc.NodeID{"d", "b", "e", "a", "c"}
+	p2 := NewWeightedPlacement(3, shuffled, map[rpc.NodeID]float64{"e": 0.25, "c": 0, "a": 1, "d": 1, "b": 0.25})
+	for stage := 0; stage < 3; stage++ {
+		for part := 0; part < 64; part++ {
+			if g1, g2 := p1.Assign(stage, part), p2.Assign(stage, part); g1 != g2 {
+				t.Fatalf("Assign(%d,%d) diverges across instances: %s vs %s", stage, part, g1, g2)
+			}
+		}
+	}
+}
+
+// Minimal disruption extends to weights: flipping one worker to weight 0
+// must only move that worker's partitions.
+func TestWeightedPlacementMinimalDisruptionOnDegrade(t *testing.T) {
+	workers := testWorkers(5)
+	before := NewPlacement(1, workers)
+	after := NewWeightedPlacement(2, workers, map[rpc.NodeID]float64{"c": 0})
+	moved, owned := 0, 0
+	for stage := 0; stage < 4; stage++ {
+		for part := 0; part < 64; part++ {
+			was, is := before.Assign(stage, part), after.Assign(stage, part)
+			if was == "c" {
+				owned++
+				if is == "c" {
+					t.Fatalf("excluded worker still owns (%d,%d)", stage, part)
+				}
+				continue
+			}
+			if was != is {
+				moved++
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("test is vacuous: c owned nothing before the degrade")
+	}
+	if moved != 0 {
+		t.Errorf("%d partitions not owned by the excluded worker moved anyway", moved)
+	}
+}

@@ -121,6 +121,50 @@ type Config struct {
 	// lineage so the retry does not chase the same dead machine.
 	RetryDelay time.Duration
 
+	// Speculation enables straggler mitigation: tasks running far beyond
+	// the median task duration get a speculative copy on a different
+	// healthy worker, first result wins, the loser is killed. The state
+	// store's batch dedup keeps windowed results exactly-once despite
+	// duplicate completions.
+	Speculation bool
+	// SpeculationMultiplier flags a running task as a straggler once its
+	// elapsed time exceeds this multiple of the median completed-task
+	// duration. Lower is more aggressive; 2.0 is a reasonable default —
+	// see README for tuning guidance.
+	SpeculationMultiplier float64
+	// SpeculationMinRuntime is a floor under the straggler threshold so
+	// sub-millisecond tasks never look like stragglers just because the
+	// median is tiny.
+	SpeculationMinRuntime time.Duration
+	// SpeculationMinCompleted is how many task completions must be
+	// observed before the detector trusts its median.
+	SpeculationMinCompleted int
+	// SpeculationMaxConcurrent caps in-flight speculative copies, bounding
+	// the redundant work a pathological cluster can trigger.
+	SpeculationMaxConcurrent int
+	// SpeculationInterval is how often the driver scans outstanding tasks
+	// for stragglers.
+	SpeculationInterval time.Duration
+
+	// HealthBlacklistRatio blacklists a worker whose service-time EWMA
+	// exceeds this multiple of the cluster median (with enough samples);
+	// half the ratio marks it degraded. Degraded workers get reduced
+	// placement weight, blacklisted ones get none.
+	HealthBlacklistRatio float64
+	// HealthFailureThreshold blacklists a worker after this many
+	// unforgiven failures/straggler flags.
+	HealthFailureThreshold int
+	// HealthProbation is how long a blacklisted worker sits out before it
+	// is retried (degraded weight); if it misbehaves again it is
+	// re-blacklisted quickly.
+	HealthProbation time.Duration
+
+	// Slowdown multiplies this worker's task service time (testing aid for
+	// the multi-process cluster: a real slow process, not an emulated one).
+	// Values <= 1 mean run at full speed. The in-memory chaos harness
+	// injects the same fault through the transport's fault plan instead.
+	Slowdown float64
+
 	// Costs emulates driver-side scheduling costs.
 	Costs CostModel
 }
@@ -169,6 +213,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = c.HeartbeatTimeout / 2
+	}
+	if c.SpeculationMultiplier <= 1 {
+		c.SpeculationMultiplier = 2.0
+	}
+	if c.SpeculationMinRuntime <= 0 {
+		c.SpeculationMinRuntime = 30 * time.Millisecond
+	}
+	if c.SpeculationMinCompleted <= 0 {
+		c.SpeculationMinCompleted = 6
+	}
+	if c.SpeculationMaxConcurrent <= 0 {
+		c.SpeculationMaxConcurrent = 8
+	}
+	if c.SpeculationInterval <= 0 {
+		c.SpeculationInterval = 20 * time.Millisecond
+	}
+	if c.HealthBlacklistRatio <= 1 {
+		c.HealthBlacklistRatio = 4.0
+	}
+	if c.HealthFailureThreshold <= 0 {
+		c.HealthFailureThreshold = 3
+	}
+	if c.HealthProbation <= 0 {
+		c.HealthProbation = 2 * time.Second
 	}
 	return c
 }

@@ -34,9 +34,10 @@ type Driver struct {
 	epoch     int64
 	placement core.Placement
 
+	health *healthTracker
+
 	statusCh chan core.TaskStatus
 	failCh   chan rpc.NodeID
-	retryCh  chan core.TaskID
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -61,9 +62,20 @@ type RunStats struct {
 	Wall       time.Duration
 	Failures   int // worker failures handled
 	Resubmits  int // tasks re-submitted (failure or recovery)
-	TaskRun    *metrics.Histogram
-	TaskQueue  *metrics.Histogram
-	TunerTrace []groupsize.Decision
+	// SpeculationLaunched counts speculative copies launched; Won counts
+	// copies that replaced their original (finished first, or survived the
+	// original's worker dying); Wasted counts copies that lost, failed, or
+	// died with their worker. Launched == Won + Wasted once a run drains.
+	SpeculationLaunched int
+	SpeculationWon      int
+	SpeculationWasted   int
+	// SpeculationKilled counts KillTask messages sent to losing attempts.
+	SpeculationKilled int
+	TaskRun           *metrics.Histogram
+	TaskQueue         *metrics.Histogram
+	TunerTrace        []groupsize.Decision
+	// Health is the final per-worker health snapshot.
+	Health map[rpc.NodeID]WorkerHealthInfo
 }
 
 // NewDriver constructs a driver; call Start to attach it to the network.
@@ -72,19 +84,25 @@ func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptSt
 	if ckptStore == nil {
 		ckptStore = checkpoint.NewMemStore()
 	}
+	cfg = cfg.withDefaults()
 	return &Driver{
 		id:       id,
 		net:      net,
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		reg:      reg,
 		ckpt:     ckptStore,
 		workers:  make(map[rpc.NodeID]*workerState),
 		addrs:    make(map[rpc.NodeID]string),
+		health:   newHealthTracker(cfg),
 		statusCh: make(chan core.TaskStatus, 1<<16),
 		failCh:   make(chan rpc.NodeID, 64),
-		retryCh:  make(chan core.TaskID, 4096),
 		stop:     make(chan struct{}),
 	}
+}
+
+// WorkerHealth returns the driver's current per-worker health snapshot.
+func (d *Driver) WorkerHealth() map[rpc.NodeID]WorkerHealthInfo {
+	return d.health.Snapshot(time.Now())
 }
 
 // ID returns the driver's node id.
@@ -133,7 +151,7 @@ func (d *Driver) AddWorkerAddr(id rpc.NodeID, addr string) {
 // membershipUpdate builds the broadcast for a placement, including the
 // address table for TCP deployments.
 func (d *Driver) membershipUpdate(p core.Placement) core.MembershipUpdate {
-	m := core.MembershipUpdate{Epoch: p.Epoch(), Workers: p.Workers()}
+	m := core.MembershipUpdate{Epoch: p.Epoch(), Workers: p.Workers(), Weights: p.Weights()}
 	d.mu.Lock()
 	if len(d.addrs) > 0 {
 		m.Addrs = make(map[rpc.NodeID]string, len(d.addrs))
@@ -235,8 +253,14 @@ func (d *Driver) broadcast(msg any) {
 	}
 }
 
-// admitPending applies queued membership changes and (re)broadcasts
-// membership. Returns the placement and whether membership changed.
+// admitPending applies queued membership changes, folds current worker
+// health into placement weights, and (re)broadcasts membership. A placement
+// is rebuilt — with a fresh epoch, since workers discard stale epochs — when
+// the live set changed *or* the health-derived weight of any live worker
+// changed; both re-route partitions and need the same broadcast. Returns the
+// placement and whether it changed. Health weighting only applies when
+// Speculation is enabled, so non-speculative runs place identically to
+// before the adaptability layer existed.
 func (d *Driver) admitPending(jobName string, startNanos int64) (core.Placement, bool, []rpc.NodeID) {
 	d.mu.Lock()
 	added := d.pendAdd
@@ -248,10 +272,24 @@ func (d *Driver) admitPending(jobName string, startNanos int64) (core.Placement,
 	for _, id := range removed {
 		delete(d.workers, id)
 	}
+	for _, id := range added {
+		d.health.Ensure(id)
+	}
+	for _, id := range removed {
+		d.health.Remove(id)
+	}
+	var weights map[rpc.NodeID]float64
+	if d.cfg.Speculation {
+		weights = d.health.Weights(time.Now(), d.liveLocked())
+	}
 	changed := len(added)+len(removed) > 0
+	if !changed && d.cfg.Speculation && d.placement.NumWorkers() > 0 &&
+		weightsDiffer(d.placement, weights) {
+		changed = true
+	}
 	if changed || d.placement.NumWorkers() == 0 {
 		d.epoch++
-		d.placement = core.NewPlacement(d.epoch, d.liveLocked())
+		d.placement = core.NewWeightedPlacement(d.epoch, d.liveLocked(), weights)
 	}
 	p := d.placement
 	d.mu.Unlock()
@@ -293,6 +331,9 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		mapHolders:  make(map[core.Dep]rpc.NodeID),
 		relay:       make(map[core.TaskID]bool),
 		restores:    make(map[checkpoint.StateKey]core.BatchID),
+		launched:    make(map[core.TaskID]time.Time),
+		spec:        make(map[core.TaskID]specAttempt),
+		specSeq:     make(map[core.TaskID]int),
 		ckptBatch:   -1,
 		stats: &RunStats{
 			Mode:      d.cfg.Mode,
@@ -366,11 +407,21 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		}
 		if tuner != nil {
 			groupSize = tuner.Update(coord, exec)
+			if rs.shrinkPending {
+				// Adaptability event during the group (worker failure or
+				// straggler): collapse to MinGroup so the next coordination
+				// boundary — the next chance to re-place and re-plan —
+				// arrives as soon as possible (§3.4). AIMD re-grows the
+				// group once conditions normalize.
+				groupSize = tuner.Shrink()
+			}
 		}
+		rs.shrinkPending = false
 	}
 	if tuner != nil {
 		rs.stats.TunerTrace = tuner.History()
 	}
+	rs.stats.Health = d.health.Snapshot(time.Now())
 	rs.stats.Wall = time.Since(wallStart)
 	return rs.stats, nil
 }
@@ -400,10 +451,103 @@ type runState struct {
 	groupSize  int
 	ckptBatch  core.BatchID // last batch covered by a requested checkpoint
 
+	// launched records when each outstanding task was first handed to a
+	// worker; combined with the batch-close floor it gives the straggler
+	// detector an elapsed time for running tasks.
+	launched map[core.TaskID]time.Time
+	// durs is a ring of the last completed task durations (ms); durSeen
+	// counts all completions, and durSeen%len(durs) is the write cursor.
+	durs    []float64
+	durSeen int
+	// spec tracks the in-flight speculative copy per task (at most one),
+	// and specSeq allocates attempt numbers.
+	spec    map[core.TaskID]specAttempt
+	specSeq map[core.TaskID]int
+	// peers records, per (batch, stage), when the first task completed and
+	// how many have: the straggler detector only trusts a task's elapsed
+	// time once enough of its batch peers finished, so a run that is merely
+	// behind schedule (boundary congestion, recovery replay) does not flag
+	// every task at once.
+	peers map[[2]int64]*peerStat
+	// retryQ holds delayed resubmissions, drained by a single reusable
+	// timer in waitTasks (replacing a time.AfterFunc allocation per retry).
+	retryQ []retryEntry
+	// shrinkPending asks the Run loop to force the tuner to MinGroup at the
+	// next group boundary (worker failure or straggler detected, §3.4).
+	shrinkPending bool
+
 	stats *RunStats
 }
 
+// specAttempt is the driver's record of one in-flight speculative copy.
+type specAttempt struct {
+	worker  rpc.NodeID
+	attempt int
+}
+
+// retryEntry is one delayed task resubmission.
+type retryEntry struct {
+	id  core.TaskID
+	due time.Time
+}
+
+// peerStat is per-(batch, stage) completion progress for the straggler
+// detector's peer gate.
+type peerStat struct {
+	first time.Time // when the first task of the (batch, stage) completed
+	done  int       // how many have completed
+}
+
+// notePeerDone folds one committed completion into the peer ledger.
+func (rs *runState) notePeerDone(id core.TaskID, at time.Time) {
+	if rs.peers == nil {
+		rs.peers = make(map[[2]int64]*peerStat)
+	}
+	key := [2]int64{int64(id.Batch), int64(id.Stage)}
+	ps := rs.peers[key]
+	if ps == nil {
+		rs.peers[key] = &peerStat{first: at, done: 1}
+		return
+	}
+	ps.done++
+}
+
+// noteLaunched records a task's (first or restarted) launch time, lazily
+// initializing the map so hand-built runStates in tests keep working.
+func (rs *runState) noteLaunched(id core.TaskID, t time.Time, reset bool) {
+	if rs.launched == nil {
+		rs.launched = make(map[core.TaskID]time.Time)
+	}
+	if _, ok := rs.launched[id]; ok && !reset {
+		return
+	}
+	rs.launched[id] = t
+}
+
+// recordDuration folds a completed task's duration into the detector's
+// ring of recent samples.
+func (rs *runState) recordDuration(ms float64) {
+	const ringSize = 64
+	if len(rs.durs) < ringSize {
+		rs.durs = append(rs.durs, ms)
+	} else {
+		rs.durs[rs.durSeen%ringSize] = ms
+	}
+	rs.durSeen++
+}
+
+// medianDurMillis returns the median of the recent-duration ring.
+func (rs *runState) medianDurMillis() float64 {
+	if len(rs.durs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), rs.durs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
 func (rs *runState) register(all []core.TaskDescriptor, byWorker map[rpc.NodeID][]core.TaskDescriptor) {
+	now := time.Now()
 	for w, descs := range byWorker {
 		for _, desc := range descs {
 			if !rs.completed[desc.ID] {
@@ -411,6 +555,7 @@ func (rs *runState) register(all []core.TaskDescriptor, byWorker map[rpc.NodeID]
 					rs.remaining++
 				}
 				rs.outstanding[desc.ID] = w
+				rs.noteLaunched(desc.ID, now, false)
 			}
 		}
 	}
@@ -589,11 +734,27 @@ func (d *Driver) sleepUntil(rs *runState, deadline time.Time) error {
 }
 
 // waitTasks drains task statuses until every registered task completed,
-// handling failures and stalls.
+// handling failures, delayed retries, straggler scans, and stalls. All
+// timers here are reusable (no per-event time.After / time.AfterFunc
+// allocations — the leak class fixed in Fetcher.Fetch in PR 2).
 func (d *Driver) waitTasks(rs *runState) error {
 	stall := time.NewTimer(d.cfg.StallResend)
 	defer stall.Stop()
+	// retry is armed each loop iteration to the earliest due entry of
+	// rs.retryQ; it starts stopped-and-drained so arming is uniform.
+	retry := time.NewTimer(time.Hour)
+	if !retry.Stop() {
+		<-retry.C
+	}
+	defer retry.Stop()
+	var specC <-chan time.Time
+	if d.cfg.Speculation {
+		specTick := time.NewTicker(d.cfg.SpeculationInterval)
+		defer specTick.Stop()
+		specC = specTick.C
+	}
 	for rs.remaining > 0 {
+		armRetry(rs, retry)
 		select {
 		case <-d.stop:
 			return errors.New("engine: driver stopped")
@@ -608,12 +769,12 @@ func (d *Driver) waitTasks(rs *runState) error {
 				}
 			}
 			stall.Reset(d.cfg.StallResend)
-		case id := <-d.retryCh:
-			if _, waiting := rs.outstanding[id]; waiting && !rs.completed[id] {
-				d.resubmit(rs, []core.TaskID{id})
-			}
+		case <-retry.C:
+			d.fireRetries(rs)
 		case w := <-d.failCh:
 			d.onWorkerFailure(rs, w)
+		case <-specC:
+			d.checkStragglers(rs)
 		case <-stall.C:
 			d.resendIncomplete(rs)
 			stall.Reset(d.cfg.StallResend)
@@ -622,14 +783,72 @@ func (d *Driver) waitTasks(rs *runState) error {
 	return nil
 }
 
-// onStatus processes one task status report.
+// armRetry (re)arms the reusable retry timer to the earliest due entry,
+// leaving it stopped when the queue is empty.
+func armRetry(rs *runState, t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	if len(rs.retryQ) == 0 {
+		return
+	}
+	next := rs.retryQ[0].due
+	for _, e := range rs.retryQ[1:] {
+		if e.due.Before(next) {
+			next = e.due
+		}
+	}
+	t.Reset(time.Until(next)) // non-positive durations fire immediately
+}
+
+// fireRetries resubmits every due retry entry, pruning entries whose task
+// already completed (e.g. a late duplicate landed first or the group moved
+// on).
+func (d *Driver) fireRetries(rs *runState) {
+	now := time.Now()
+	var due []core.TaskID
+	rest := rs.retryQ[:0]
+	for _, e := range rs.retryQ {
+		if e.due.After(now) {
+			rest = append(rest, e)
+			continue
+		}
+		if _, waiting := rs.outstanding[e.id]; waiting && !rs.completed[e.id] {
+			due = append(due, e.id)
+		}
+	}
+	rs.retryQ = rest
+	if len(due) > 0 {
+		d.resubmit(rs, due)
+	}
+}
+
+// onStatus processes one task status report. With speculation there can be
+// two attempts of a task in flight; the first OK report commits the task
+// (first-result-wins) and the losing attempt is killed. The state store's
+// batch dedup makes a loser that completes anyway harmless.
 func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 	if rs.completed[st.ID] {
-		return nil // duplicate (resend or re-execution)
+		return nil // duplicate (resend, re-execution, or speculation loser)
 	}
-	if _, known := rs.outstanding[st.ID]; !known {
+	primary, known := rs.outstanding[st.ID]
+	if !known {
 		return nil // stale report from a previous group
 	}
+	if !rs.placement.Contains(st.Worker) {
+		// The report raced a membership change: the worker was declared dead
+		// with this status in flight. Its outputs are unfetchable now, so
+		// committing the task would point lineage at a dead holder — and the
+		// completed-dedup guard would then drop the live re-execution's
+		// report, wedging every consumer. Failure handling already resubmitted
+		// the task; this report is simply void.
+		return nil
+	}
+	sa, hasSpec := rs.spec[st.ID]
+	fromSpec := hasSpec && st.Worker == sa.worker && st.Attempt == sa.attempt
 	if !st.OK {
 		// A missing-precondition failure means a control message was lost,
 		// not that the task is broken: re-deliver the cause and retry
@@ -644,7 +863,18 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 		if st.NeedsState {
 			d.sendRestore(rs, checkpoint.StateKey{Job: rs.jobName, Stage: st.ID.Stage, Partition: st.ID.Partition})
 		}
+		if fromSpec {
+			// The speculative copy failed; the original is still running
+			// and keeps its attempt budget. The copy is simply written off.
+			delete(rs.spec, st.ID)
+			rs.stats.SpeculationWasted++
+			if !st.NeedsJob && !st.NeedsState {
+				d.health.ObserveFailure(st.Worker)
+			}
+			return nil
+		}
 		if !st.NeedsJob && !st.NeedsState {
+			d.health.ObserveFailure(st.Worker)
 			rs.attempts[st.ID]++
 			if rs.attempts[st.ID] >= d.cfg.MaxTaskAttempts {
 				return fmt.Errorf("engine: task %v failed %d times, last: %s", st.ID, rs.attempts[st.ID], st.Err)
@@ -654,20 +884,29 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 		// Delay the retry: a failure usually means a machine just died,
 		// and the resubmission should happen after the membership update
 		// and lineage cleanup rather than chase the same dead holder.
-		id := st.ID
-		time.AfterFunc(d.cfg.RetryDelay, func() {
-			select {
-			case d.retryCh <- id:
-			case <-d.stop:
-			}
-		})
+		rs.retryQ = append(rs.retryQ, retryEntry{id: st.ID, due: time.Now().Add(d.cfg.RetryDelay)})
 		return nil
 	}
 	rs.completed[st.ID] = true
 	delete(rs.outstanding, st.ID)
+	delete(rs.launched, st.ID)
 	rs.remaining--
 	rs.stats.TaskRun.ObserveMillis(float64(st.RunNanos) / 1e6)
 	rs.stats.TaskQueue.ObserveMillis(float64(st.QueueNanos) / 1e6)
+	rs.recordDuration(float64(st.RunNanos) / 1e6)
+	rs.notePeerDone(st.ID, time.Now())
+	d.health.ObserveSuccess(st.Worker, time.Duration(st.RunNanos))
+
+	if hasSpec {
+		delete(rs.spec, st.ID)
+		if fromSpec {
+			rs.stats.SpeculationWon++
+			d.killAttempt(rs, primary, st.ID, 0)
+		} else {
+			rs.stats.SpeculationWasted++
+			d.killAttempt(rs, sa.worker, st.ID, sa.attempt)
+		}
+	}
 
 	stage := &rs.planner.Job.Stages[st.ID.Stage]
 	if stage.Shuffle != nil {
@@ -679,6 +918,18 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 		}
 	}
 	return nil
+}
+
+// killAttempt tells a worker to abandon a losing attempt: dequeue it if
+// still queued, suppress its status if running. Correctness never depends
+// on the kill arriving — batch dedup absorbs duplicate completions and
+// onStatus drops duplicate reports — it exists to free the loser's slot.
+func (d *Driver) killAttempt(rs *runState, w rpc.NodeID, id core.TaskID, attempt int) {
+	if w == "" || !rs.placement.Contains(w) {
+		return
+	}
+	rs.stats.SpeculationKilled++
+	_ = d.net.Send(d.id, w, core.KillTask{Tasks: []core.TaskAttempt{{ID: id, Attempt: attempt}}})
 }
 
 // relayDataReady forwards a recovered map output's location to the current
@@ -738,6 +989,9 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 			rs.remaining++
 		}
 		rs.outstanding[id] = w
+		// Restart the straggler clock: a freshly resubmitted task must not
+		// be flagged for time its failed predecessor burned.
+		rs.noteLaunched(id, time.Now(), true)
 		if stage.Shuffle != nil {
 			rs.relay[id] = true
 		}
@@ -748,6 +1002,114 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 			log.Printf("engine: driver: resubmit to %s: %v", w, err)
 		}
 	}
+}
+
+// checkStragglers is the quantile-based straggler detector, run on the
+// speculation ticker: a running task is flagged once its elapsed time
+// exceeds SpeculationMultiplier × the median completed-task duration (with
+// the SpeculationMinRuntime floor, so a tiny median never flags anything),
+// and a speculative copy is launched on the healthiest other worker —
+// bounded by SpeculationMaxConcurrent copies in flight.
+func (d *Driver) checkStragglers(rs *runState) {
+	if rs.durSeen < d.cfg.SpeculationMinCompleted {
+		return // median not trustworthy yet
+	}
+	threshold := time.Duration(d.cfg.SpeculationMultiplier * rs.medianDurMillis() * float64(time.Millisecond))
+	if threshold < d.cfg.SpeculationMinRuntime {
+		threshold = d.cfg.SpeculationMinRuntime
+	}
+	live := rs.placement.Workers()
+	if len(live) < 2 {
+		return // nowhere else to run a copy
+	}
+	now := time.Now()
+	for id, w := range rs.outstanding {
+		if len(rs.spec) >= d.cfg.SpeculationMaxConcurrent {
+			return
+		}
+		if _, already := rs.spec[id]; already {
+			continue
+		}
+		stage := &rs.planner.Job.Stages[id.Stage]
+		if stage.IsTerminal() && stage.Window != nil {
+			// Stateful tasks must run on their partition's owner — a copy
+			// elsewhere would fold batches into divergent state. A slow
+			// owner is handled by health weighting instead: its weight
+			// drops and the partition migrates at the next boundary.
+			continue
+		}
+		start := rs.launched[id]
+		if start.IsZero() {
+			continue
+		}
+		// A task cannot start before its micro-batch's input interval has
+		// closed (source gating); clock it from the later of launch and
+		// batch close so pre-scheduled future-batch tasks are not flagged.
+		if closeAt := time.Unix(0, rs.planner.BatchCloseNanos(id.Batch)); closeAt.After(start) {
+			start = closeAt
+		}
+		if now.Sub(start) < threshold {
+			continue
+		}
+		// Peer gate: absolute elapsed time lies when the whole run is
+		// behind schedule (boundary congestion, recovery replay) — every
+		// task of a batch then looks late simultaneously. Only flag a task
+		// once at least half its same-(batch, stage) peers committed AND it
+		// is a threshold behind the first of them; a straggler is slow
+		// relative to its peers, not relative to the clock.
+		if stage.NumPartitions > 1 {
+			ps := rs.peers[[2]int64{int64(id.Batch), int64(id.Stage)}]
+			if ps == nil || 2*ps.done < stage.NumPartitions {
+				continue
+			}
+			if now.Sub(ps.first) < threshold {
+				continue
+			}
+		}
+		target := d.health.PickSpeculative(now, live, w)
+		if target == "" || target == w {
+			continue
+		}
+		d.launchSpeculative(rs, id, w, target)
+	}
+}
+
+// launchSpeculative sends a redundant copy of a flagged task to target,
+// records it for first-result-wins commit, marks the original's worker as
+// hosting a straggler, and schedules a group shrink (§3.4).
+func (d *Driver) launchSpeculative(rs *runState, id core.TaskID, primary, target rpc.NodeID) {
+	stage := &rs.planner.Job.Stages[id.Stage]
+	rs.specSeq[id]++
+	attempt := rs.specSeq[id]
+	desc := core.TaskDescriptor{
+		Job:              rs.jobName,
+		ID:               id,
+		Attempt:          attempt,
+		Deps:             rs.planner.DepsOf(id.Batch, id.Stage, id.Partition),
+		NotifyDownstream: d.cfg.Mode == ModeDrizzle,
+	}
+	if stage.IsSource() {
+		desc.NotBefore = rs.planner.BatchCloseNanos(id.Batch)
+	}
+	if len(desc.Deps) > 0 {
+		known := make(map[core.Dep]rpc.NodeID)
+		for _, dep := range desc.Deps {
+			if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
+				known[dep] = h
+			}
+		}
+		desc.KnownLocations = known
+	}
+	d.chargeCosts(1, 0, 1)
+	if err := d.net.Send(d.id, target, core.LaunchTasks{Tasks: []core.TaskDescriptor{desc}, PurgeBefore: d.purgeWatermark(rs)}); err != nil {
+		log.Printf("engine: driver: speculative launch to %s: %v", target, err)
+		return
+	}
+	rs.spec[id] = specAttempt{worker: target, attempt: attempt}
+	rs.stats.SpeculationLaunched++
+	d.health.ObserveStraggler(primary)
+	rs.shrinkPending = true
+	log.Printf("engine: driver: straggler %v on %s, speculative attempt %d on %s", id, primary, attempt, target)
 }
 
 // resendIncomplete is the stall safety net: re-deliver descriptors for all
@@ -763,10 +1125,33 @@ func (d *Driver) resendIncomplete(rs *runState) {
 	d.resendRestores(rs)
 	d.broadcast(d.membershipUpdate(rs.placement))
 	ids := make([]core.TaskID, 0, rs.remaining)
+	inSet := make(map[core.TaskID]bool, rs.remaining)
 	for id := range rs.outstanding {
 		ids = append(ids, id)
+		inSet[id] = true
 	}
-	log.Printf("engine: driver: stall detected, re-sending %d task(s)", len(ids))
+	// Lineage check: a stalled task can be waiting on a dependency whose
+	// committed holder has since died — resending the descriptor alone would
+	// omit that location forever. Transitively re-run such producers along
+	// with the stalled tasks.
+	frontier := append([]core.TaskID(nil), ids...)
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, dep := range rs.planner.DepsOf(id.Batch, id.Stage, id.Partition) {
+			if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
+				continue // surviving output, reusable via lineage
+			}
+			producer := core.TaskID{Batch: dep.Batch, Stage: dep.Stage, Partition: dep.MapPartition}
+			if inSet[producer] || !rs.completed[producer] {
+				continue // being resent anyway, or the launch path owns it
+			}
+			inSet[producer] = true
+			ids = append(ids, producer)
+			frontier = append(frontier, producer)
+		}
+	}
+	log.Printf("engine: driver: stall detected, re-sending %d task(s): %v", len(ids), ids)
 	d.resubmit(rs, ids)
 }
 
@@ -782,8 +1167,13 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 	}
 	ws.alive = false
 	delete(d.workers, dead)
+	d.health.Remove(dead)
 	d.epoch++
-	newP := core.NewPlacement(d.epoch, d.liveLocked())
+	var weights map[rpc.NodeID]float64
+	if d.cfg.Speculation {
+		weights = d.health.Weights(time.Now(), d.liveLocked())
+	}
+	newP := core.NewWeightedPlacement(d.epoch, d.liveLocked(), weights)
 	d.placement = newP
 	d.mu.Unlock()
 
@@ -795,6 +1185,9 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 	}
 	log.Printf("engine: driver: worker %s declared dead (epoch %d)", dead, newP.Epoch())
 	rs.stats.Failures++
+	// A failure is an adaptability event: shrink the group at the next
+	// boundary so re-planning happens sooner (§3.4).
+	rs.shrinkPending = true
 
 	oldP := rs.placement
 	rs.placement = newP
@@ -804,13 +1197,32 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 		return // waitTasks will stall; nothing can run
 	}
 
+	// Speculative copies hosted by the dead worker are written off.
+	for id, sa := range rs.spec {
+		if sa.worker == dead {
+			delete(rs.spec, id)
+			rs.stats.SpeculationWasted++
+		}
+	}
+
 	resubmitSet := make(map[core.TaskID]bool)
 
-	// (a) Incomplete tasks that were assigned to the dead worker.
+	// (a) Incomplete tasks that were assigned to the dead worker. A task
+	// whose speculative copy is still alive needs no resubmission: the copy
+	// is promoted to primary (it counts as a speculation win — the
+	// redundant launch is what kept the task alive).
 	for id, w := range rs.outstanding {
-		if w == dead {
-			resubmitSet[id] = true
+		if w != dead {
+			continue
 		}
+		if sa, ok := rs.spec[id]; ok {
+			rs.outstanding[id] = sa.worker
+			rs.noteLaunched(id, time.Now(), true)
+			delete(rs.spec, id)
+			rs.stats.SpeculationWon++
+			continue
+		}
+		resubmitSet[id] = true
 	}
 
 	// (c) Terminal partitions owned by the dead worker: restore their
@@ -853,14 +1265,37 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 			delete(rs.mapHolders, dep)
 		}
 	}
-	// Seed the frontier with the deps of everything that will (re)run.
+	// Seed the frontier with the deps of everything that will (re)run or has
+	// yet to run. Tasks of the group not launched yet matter too: BSP mode
+	// launches stage by stage, so a map output can commit, lose its holder to
+	// this failure, and only afterwards be demanded by the next stage's plan —
+	// with no launched consumer to witness the loss. Walking the whole group
+	// re-runs such producers now instead of wedging the later stage.
+	seen := make(map[core.TaskID]bool, len(resubmitSet)+len(rs.outstanding))
 	frontier := make([]core.TaskID, 0, len(resubmitSet)+len(rs.outstanding))
 	for id := range resubmitSet {
+		seen[id] = true
 		frontier = append(frontier, id)
 	}
 	for id := range rs.outstanding {
-		if !resubmitSet[id] {
+		if !seen[id] {
+			seen[id] = true
 			frontier = append(frontier, id)
+		}
+	}
+	for b := rs.groupFirst; b < groupEnd; b++ {
+		if b < 0 {
+			continue
+		}
+		for si := range rs.planner.Job.Stages {
+			for p := 0; p < rs.planner.Job.Stages[si].NumPartitions; p++ {
+				id := core.TaskID{Batch: b, Stage: si, Partition: p}
+				if seen[id] || rs.completed[id] {
+					continue
+				}
+				seen[id] = true
+				frontier = append(frontier, id)
+			}
 		}
 	}
 	for len(frontier) > 0 {
@@ -876,6 +1311,9 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 			}
 			if _, running := rs.outstanding[producer]; running && rs.outstanding[producer] != dead {
 				continue // already in flight on a live worker
+			}
+			if _, running := rs.outstanding[producer]; !running && !rs.completed[producer] {
+				continue // never produced nor launched; the normal launch path runs it
 			}
 			resubmitSet[producer] = true
 			frontier = append(frontier, producer)
@@ -1006,6 +1444,44 @@ func alignedStart(job *dag.Job) int64 {
 		return now
 	}
 	return (now/align + 1) * align
+}
+
+// weightsDiffer reports whether applying the proposed weight map to the
+// placement's worker set would change any worker's effective weight.
+// Missing entries mean weight 1 on both sides, so a nil/uniform proposal
+// matches an unweighted placement.
+func weightsDiffer(p core.Placement, proposed map[rpc.NodeID]float64) bool {
+	workers := p.Workers()
+	lookup := func(m map[rpc.NodeID]float64, w rpc.NodeID) float64 {
+		if m != nil {
+			if v, ok := m[w]; ok {
+				return v
+			}
+		}
+		return 1
+	}
+	// A uniform proposal builds an unweighted placement (the constructor's
+	// fallback), so normalize it to all-1 before comparing — otherwise an
+	// all-degraded cluster would look "changed" every group and churn the
+	// epoch forever.
+	uniform := true
+	for _, w := range workers {
+		if lookup(proposed, w) != lookup(proposed, workers[0]) {
+			uniform = false
+			break
+		}
+	}
+	current := p.Weights()
+	for _, w := range workers {
+		pw := lookup(proposed, w)
+		if uniform {
+			pw = 1
+		}
+		if lookup(current, w) != pw {
+			return true
+		}
+	}
+	return false
 }
 
 func pruneHolders(holders map[core.Dep]rpc.NodeID, before core.BatchID) {

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/groupsize"
+	"drizzle/internal/rpc"
+)
+
+// TestSpeculativeExecutionSlowWorker is the deterministic straggler test:
+// one worker's task execution is slowed 10x once the run is warmed up. The
+// run must complete, at least one speculative copy must launch and win, the
+// loser must be sent a kill, the speculation ledger must balance, and the
+// window sums must match the sequential oracle (exactly-once despite
+// duplicate completions).
+func TestSpeculativeExecutionSlowWorker(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 3
+	cfg.HeartbeatInterval = 20 * time.Millisecond
+	cfg.HeartbeatTimeout = 400 * time.Millisecond
+	cfg.RetryDelay = 30 * time.Millisecond
+	cfg.Speculation = true
+	cfg.SpeculationMultiplier = 2
+	cfg.SpeculationMinRuntime = 20 * time.Millisecond
+	cfg.SpeculationMinCompleted = 4
+	cfg.SpeculationInterval = 10 * time.Millisecond
+
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{
+		Latency: 100 * time.Microsecond, Jitter: 50 * time.Microsecond, Seed: 1,
+	})
+	plan := rpc.NewFaultPlan(1)
+	tc.net.SetFaultPlan(plan)
+
+	const (
+		batches  = 12
+		interval = 30 * time.Millisecond
+		taskCost = 5 * time.Millisecond
+	)
+	sink := newWindowSink()
+	job := windowCountJob("spec-slow", 6, 2, interval, 2*interval, countingSource(4, 3), sink.fn, false)
+	job.Stages[0].Ops = []dag.NarrowOp{func(recs []data.Record) []data.Record {
+		time.Sleep(taskCost)
+		return recs
+	}}
+	if err := tc.reg.Register(job.Name, job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow w1 only after the first window has closed, so the detector's
+	// median is built from honest samples and the slowdown lands mid-run.
+	go func() {
+		if sink.waitEmitted(1, 10*time.Second) {
+			plan.SetSlow("w1", 10)
+		}
+	}()
+
+	stats, err := tc.driver.Run(job.Name, batches)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Errorf("window sums diverge from sequential oracle:\n%s", diff)
+	}
+	if stats.SpeculationLaunched == 0 {
+		t.Error("no speculative copy was ever launched against a 10x-slowed worker")
+	}
+	if stats.SpeculationWon == 0 {
+		t.Error("no speculative copy won; a 10x slowdown should lose every race to a healthy copy")
+	}
+	if stats.SpeculationLaunched != stats.SpeculationWon+stats.SpeculationWasted {
+		t.Errorf("speculation ledger out of balance: launched=%d won=%d wasted=%d",
+			stats.SpeculationLaunched, stats.SpeculationWon, stats.SpeculationWasted)
+	}
+	if stats.SpeculationWon > 0 && stats.SpeculationKilled == 0 {
+		t.Error("speculative wins recorded but no loser was ever sent a kill")
+	}
+	if len(stats.Health) == 0 {
+		t.Error("run stats carry no worker health snapshot")
+	}
+	if h, ok := stats.Health["w1"]; ok && h.State == WorkerHealthy && h.Stragglers == 0 {
+		t.Errorf("slowed worker still fully healthy with no straggler strikes: %+v", h)
+	}
+}
+
+// TestForcedShrinkAndRegrow checks the failure-aware group-size path: with
+// auto-tuning on, a straggler forces the tuner to MinGroup at the next
+// boundary (a Forced decision in the trace), and after the worker heals the
+// ordinary AIMD rule re-grows the group.
+func TestForcedShrinkAndRegrow(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Mode = ModeDrizzle
+	cfg.GroupSize = 4
+	cfg.AutoTune = true
+	cfg.Tuner = groupsize.DefaultConfig()
+	cfg.Tuner.MaxGroup = 8
+	cfg.HeartbeatInterval = 20 * time.Millisecond
+	cfg.HeartbeatTimeout = 400 * time.Millisecond
+	cfg.Speculation = true
+	cfg.SpeculationMultiplier = 2
+	cfg.SpeculationMinRuntime = 20 * time.Millisecond
+	cfg.SpeculationMinCompleted = 4
+	cfg.SpeculationInterval = 10 * time.Millisecond
+	// Non-zero emulated coordination cost so that at group size 1 the
+	// overhead fraction exceeds the tuner's upper bound and AIMD has a
+	// reason to re-grow after the forced shrink.
+	cfg.Costs = CostModel{PerTaskSerialize: 2 * time.Millisecond, PerMessage: 500 * time.Microsecond}
+
+	tc := newTestCluster(t, 3, cfg, rpc.InMemConfig{
+		Latency: 100 * time.Microsecond, Jitter: 50 * time.Microsecond, Seed: 2,
+	})
+	plan := rpc.NewFaultPlan(2)
+	tc.net.SetFaultPlan(plan)
+
+	const (
+		batches  = 36
+		interval = 25 * time.Millisecond
+		taskCost = 4 * time.Millisecond
+	)
+	sink := newWindowSink()
+	job := windowCountJob("spec-shrink", 6, 2, interval, 2*interval, countingSource(4, 3), sink.fn, false)
+	job.Stages[0].Ops = []dag.NarrowOp{func(recs []data.Record) []data.Record {
+		time.Sleep(taskCost)
+		return recs
+	}}
+	if err := tc.reg.Register(job.Name, job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow w1 once warmed up, heal it shortly after: the shrink must show
+	// up while slow, the re-growth after the heal.
+	go func() {
+		if sink.waitEmitted(1, 10*time.Second) {
+			plan.SetSlow("w1", 10)
+			time.AfterFunc(150*time.Millisecond, plan.ClearSlow)
+		}
+	}()
+
+	stats, err := tc.driver.Run(job.Name, batches)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	want := referenceWindows(job, stats.StartNanos, batches)
+	if diff := diffResults(want, sink.snapshot()); diff != "" {
+		t.Errorf("window sums diverge from sequential oracle:\n%s", diff)
+	}
+
+	forcedAt := -1
+	for i, d := range stats.TunerTrace {
+		if d.Forced {
+			if d.Group != cfg.Tuner.MinGroup {
+				t.Errorf("forced decision %d shrank to %d, want MinGroup %d", i, d.Group, cfg.Tuner.MinGroup)
+			}
+			forcedAt = i
+		}
+	}
+	if forcedAt < 0 {
+		t.Fatalf("no forced shrink in tuner trace despite straggler detection: %+v", stats.TunerTrace)
+	}
+	regrew := false
+	for _, d := range stats.TunerTrace[forcedAt+1:] {
+		if d.Group > cfg.Tuner.MinGroup {
+			regrew = true
+			break
+		}
+	}
+	if !regrew {
+		t.Errorf("group never re-grew past MinGroup after the last forced shrink: %+v", stats.TunerTrace)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"drizzle/internal/core"
 	"drizzle/internal/dag"
 	"drizzle/internal/data"
+	"drizzle/internal/metrics"
 	"drizzle/internal/rpc"
 	"drizzle/internal/shuffle"
 )
@@ -34,6 +35,12 @@ type Worker struct {
 	mu        sync.Mutex
 	jobs      map[string]*jobInfo
 	placement core.Placement
+	// kills marks task attempts the driver told us to abandon: pending ones
+	// are dequeued immediately, running ones have their status report
+	// suppressed when they finish. Marks are garbage-collected by the purge
+	// watermark that rides on LaunchTasks.
+	kills     map[core.TaskAttempt]bool
+	killedCnt metrics.Counter
 
 	// fetchQ feeds the shuffle serve pool: block serving runs on dedicated
 	// goroutines instead of the transport's delivery goroutine, so a slow
@@ -69,6 +76,7 @@ func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config
 		store:  shuffle.NewStore(),
 		states: NewStateStore(),
 		jobs:   make(map[string]*jobInfo),
+		kills:  make(map[core.TaskAttempt]bool),
 		fetchQ: make(chan shuffle.FetchRequest, cfg.ShuffleQueue),
 		stop:   make(chan struct{}),
 	}
@@ -155,12 +163,15 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 		if m.PurgeBefore > 0 {
 			w.store.PurgeBefore(int64(m.PurgeBefore))
 			w.ls.Purge(m.PurgeBefore)
+			w.pruneKills(m.PurgeBefore)
 		}
 		for _, desc := range m.Tasks {
 			w.ls.Add(desc)
 		}
 	case core.CancelTasks:
 		w.ls.Cancel(m.IDs)
+	case core.KillTask:
+		w.onKill(m)
 	case core.DataReady:
 		w.ls.OnDataReady(m.Dep, m.Holder)
 	case shuffle.FetchRequest:
@@ -181,6 +192,56 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 		log.Printf("engine: worker %s: unexpected message %T from %s", w.id, msg, from)
 	}
 }
+
+// onKill processes a loser-cancellation from first-result-wins commit:
+// attempts still queued in the local scheduler are dequeued outright;
+// attempts already running get a kill mark that suppresses their status
+// report when they finish (execution is not interrupted mid-op — the state
+// store's batch dedup makes a completed loser harmless).
+func (w *Worker) onKill(m core.KillTask) {
+	w.mu.Lock()
+	for _, ta := range m.Tasks {
+		w.kills[ta] = true
+	}
+	w.mu.Unlock()
+	if cancelled := w.ls.CancelAttempts(m.Tasks); len(cancelled) > 0 {
+		w.killedCnt.Add(int64(len(cancelled)))
+		w.mu.Lock()
+		for _, ta := range cancelled {
+			delete(w.kills, ta) // dequeued; the mark has done its job
+		}
+		w.mu.Unlock()
+	}
+}
+
+// takeKill consumes the kill mark for an attempt, reporting whether it was
+// set.
+func (w *Worker) takeKill(ta core.TaskAttempt) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.kills[ta] {
+		delete(w.kills, ta)
+		return true
+	}
+	return false
+}
+
+// pruneKills drops kill marks for attempts whose micro-batch is behind the
+// purge watermark (their loser either ran and was suppressed, or never
+// will run).
+func (w *Worker) pruneKills(before core.BatchID) {
+	w.mu.Lock()
+	for ta := range w.kills {
+		if ta.ID.Batch < before {
+			delete(w.kills, ta)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// KilledTasks reports how many task attempts this worker abandoned due to
+// KillTask messages.
+func (w *Worker) KilledTasks() int64 { return w.killedCnt.Value() }
 
 func (w *Worker) onSubmitJob(m core.SubmitJob) {
 	job, ok := w.reg.Lookup(m.Job)
@@ -209,7 +270,7 @@ func (w *Worker) onMembership(m core.MembershipUpdate) {
 			}
 		}
 	}
-	p := core.NewPlacement(m.Epoch, m.Workers)
+	p := core.NewWeightedPlacement(m.Epoch, m.Workers, m.Weights)
 	w.mu.Lock()
 	if p.Epoch() < w.placement.Epoch() {
 		w.mu.Unlock()
@@ -298,13 +359,27 @@ var (
 )
 
 // runTask executes one task end to end and reports status to the driver.
+// Attempts killed by first-result-wins commit are dropped silently: before
+// execution if the kill already landed, or by suppressing the status report
+// if it landed while the loser was running.
 func (w *Worker) runTask(rt core.RunnableTask) {
+	ta := core.TaskAttempt{ID: rt.Desc.ID, Attempt: rt.Desc.Attempt}
+	if w.takeKill(ta) {
+		w.killedCnt.Inc()
+		return
+	}
 	queued := time.Since(rt.ReadyAt)
 	start := time.Now()
 	sizes, err := w.execute(rt)
+	w.applySlowdown(start)
+	if w.takeKill(ta) {
+		w.killedCnt.Inc()
+		return
+	}
 	status := core.TaskStatus{
 		ID:          rt.Desc.ID,
 		Worker:      w.id,
+		Attempt:     rt.Desc.Attempt,
 		OK:          err == nil,
 		OutputSizes: sizes,
 		RunNanos:    int64(time.Since(start)),
@@ -316,6 +391,32 @@ func (w *Worker) runTask(rt core.RunnableTask) {
 		status.NeedsState = errors.Is(err, errStateBehind)
 	}
 	w.send(w.driver, status)
+}
+
+// applySlowdown stretches the task's service time by the configured (or
+// fault-injected) multiplier: a factor-m slow machine takes m× as long to
+// do the same work, while its heartbeats and control handling stay prompt —
+// the straggler failure mode, as opposed to the crash failure mode.
+func (w *Worker) applySlowdown(start time.Time) {
+	m := w.cfg.Slowdown
+	if ss, ok := w.net.(rpc.ServiceSlower); ok {
+		if f := ss.ServiceMultiplier(w.id); f > m {
+			m = f
+		}
+	}
+	if m <= 1 {
+		return
+	}
+	extra := time.Duration(float64(time.Since(start)) * (m - 1))
+	if extra <= 0 {
+		return
+	}
+	t := time.NewTimer(extra)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-w.stop:
+	}
 }
 
 func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {

@@ -81,6 +81,9 @@ type Tuner struct {
 type Decision struct {
 	Overhead float64 // smoothed overhead fraction that drove the decision
 	Group    int     // group size chosen for the next group
+	// Forced marks a decision imposed by an external adaptability signal
+	// (worker failure, straggler detected) rather than by the AIMD rule.
+	Forced bool
 }
 
 // New returns a Tuner starting at initialGroup.
@@ -114,6 +117,20 @@ func (t *Tuner) Update(coord, exec time.Duration) int {
 		t.group = clamp(t.group-t.cfg.AddDecrease, t.cfg.MinGroup, t.cfg.MaxGroup)
 	}
 	t.hist = append(t.hist, Decision{Overhead: overhead, Group: t.group})
+	return t.group
+}
+
+// Shrink collapses the group size to MinGroup immediately, recording a
+// Forced decision. The driver calls it when adaptability suddenly matters
+// more than amortization — a worker was declared dead or a straggler was
+// detected — so the next coordination boundary (the next chance to re-plan,
+// re-place and re-balance) arrives as soon as possible (§3.4). The EWMA is
+// left untouched: once conditions normalize, the ordinary AIMD rule sees
+// low overhead is no longer the binding constraint and multiplicatively
+// re-grows the group.
+func (t *Tuner) Shrink() int {
+	t.group = t.cfg.MinGroup
+	t.hist = append(t.hist, Decision{Overhead: t.ewma.Value(), Group: t.group, Forced: true})
 	return t.group
 }
 

@@ -169,3 +169,66 @@ func TestTunerZeroTotal(t *testing.T) {
 		t.Fatalf("group grew on zero measurements: %d", g)
 	}
 }
+
+func TestTunerForcedShrinkAndRegrow(t *testing.T) {
+	tuner, err := New(DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish a steady in-band EWMA first so we can verify Shrink leaves
+	// the smoothed overhead untouched.
+	tuner.Update(7*time.Millisecond, 93*time.Millisecond)
+	before := tuner.History()
+	ewmaBefore := before[len(before)-1].Overhead
+
+	if got := tuner.Shrink(); got != DefaultConfig().MinGroup {
+		t.Fatalf("Shrink() = %d, want MinGroup %d", got, DefaultConfig().MinGroup)
+	}
+	hist := tuner.History()
+	last := hist[len(hist)-1]
+	if !last.Forced {
+		t.Fatal("Shrink did not record a Forced decision")
+	}
+	if last.Group != DefaultConfig().MinGroup {
+		t.Fatalf("forced decision group %d, want MinGroup", last.Group)
+	}
+	if last.Overhead != ewmaBefore {
+		t.Errorf("Shrink perturbed the EWMA: %v -> %v", ewmaBefore, last.Overhead)
+	}
+
+	// Once conditions normalize, high measured overhead at group 1 drives
+	// ordinary multiplicative re-growth; the recovery decisions are not
+	// Forced.
+	grew := false
+	for i := 0; i < 10 && !grew; i++ {
+		g := tuner.Update(50*time.Millisecond, 100*time.Millisecond)
+		grew = g > DefaultConfig().MinGroup
+	}
+	if !grew {
+		t.Fatalf("tuner never re-grew past MinGroup after forced shrink: %+v", tuner.History())
+	}
+	hist = tuner.History()
+	if hist[len(hist)-1].Forced {
+		t.Error("AIMD re-growth decision marked Forced")
+	}
+}
+
+func TestTunerShrinkIdempotent(t *testing.T) {
+	tuner, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.Shrink()
+	if got := tuner.Shrink(); got != DefaultConfig().MinGroup {
+		t.Fatalf("second Shrink() = %d, want MinGroup", got)
+	}
+	forced := 0
+	for _, d := range tuner.History() {
+		if d.Forced {
+			forced++
+		}
+	}
+	if forced != 2 {
+		t.Errorf("history records %d forced decisions, want 2", forced)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,19 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a thread-safe instantaneous value (a level, not a count). The
+// driver's worker-health tracker publishes one per worker so experiments
+// and operators can watch health scores move as stragglers are detected.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Stopwatch accumulates wall time spent in named phases. The Drizzle driver
 // uses one to split a group's elapsed time into "coordination" (scheduling,

@@ -220,3 +220,40 @@ func TestFormatCDF(t *testing.T) {
 		t.Fatal("FormatCDF returned empty string")
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if v := g.Value(); v != 0 {
+		t.Fatalf("zero-value gauge reads %v, want 0", v)
+	}
+	g.Set(12.5)
+	if v := g.Value(); v != 12.5 {
+		t.Fatalf("gauge reads %v, want 12.5", v)
+	}
+	// A gauge is a level, not a count: a later Set replaces, never adds.
+	g.Set(3)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("gauge reads %v, want 3", v)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Set(v)
+				_ = g.Value()
+			}
+		}(float64(i))
+	}
+	wg.Wait()
+	// Under the race detector this test is about torn reads; the final
+	// value is whichever writer landed last.
+	if v := g.Value(); v < 0 || v > 7 {
+		t.Fatalf("gauge read a value never written: %v", v)
+	}
+}

@@ -31,12 +31,14 @@ type FaultPlan struct {
 	rng     *rand.Rand
 	rules   []LinkFault
 	blocked map[faultLink]bool
+	slow    map[NodeID]float64
 
 	dropped    metrics.Counter
 	duplicated metrics.Counter
 	reordered  metrics.Counter
 	delayed    metrics.Counter
 	blockedCnt metrics.Counter
+	slowedCnt  metrics.Counter
 }
 
 type faultLink struct{ from, to NodeID }
@@ -83,11 +85,12 @@ type FaultStatsSnapshot struct {
 	Reordered  int64 // messages held and re-injected out of order
 	Delayed    int64 // messages given ExtraLatency or a latency spike
 	Blocked    int64 // messages discarded by a one-way partition
+	Slowed     int64 // task executions stretched by a SlowWorker fault
 }
 
 // Total returns the number of fault decisions of any kind.
 func (s FaultStatsSnapshot) Total() int64 {
-	return s.Dropped + s.Duplicated + s.Reordered + s.Delayed + s.Blocked
+	return s.Dropped + s.Duplicated + s.Reordered + s.Delayed + s.Blocked + s.Slowed
 }
 
 // NewFaultPlan returns an empty plan whose probabilistic decisions are
@@ -100,7 +103,44 @@ func NewFaultPlan(seed int64) *FaultPlan {
 	return &FaultPlan{
 		rng:     rand.New(rand.NewSource(seed)),
 		blocked: make(map[faultLink]bool),
+		slow:    make(map[NodeID]float64),
 	}
+}
+
+// SetSlow installs a SlowWorker fault: tasks executed by node id take
+// factor× their honest service time. Unlike link latency this models a
+// degraded machine (thermal throttling, a sick disk, a noisy neighbour) —
+// the node stays responsive to control messages and heartbeats, it is just
+// slow to do work, which is exactly the failure mode straggler mitigation
+// exists for. A factor <= 1 removes the fault.
+func (p *FaultPlan) SetSlow(id NodeID, factor float64) {
+	p.mu.Lock()
+	if factor > 1 {
+		p.slow[id] = factor
+	} else {
+		delete(p.slow, id)
+	}
+	p.mu.Unlock()
+}
+
+// ClearSlow removes every SlowWorker fault (the "machine healed" event).
+func (p *FaultPlan) ClearSlow() {
+	p.mu.Lock()
+	p.slow = make(map[NodeID]float64)
+	p.mu.Unlock()
+}
+
+// serviceMultiplier reports the active service-time multiplier for a node
+// (1 when healthy) and counts consultations that found a slowdown.
+func (p *FaultPlan) serviceMultiplier(id NodeID) float64 {
+	p.mu.Lock()
+	f := p.slow[id]
+	p.mu.Unlock()
+	if f > 1 {
+		p.slowedCnt.Inc()
+		return f
+	}
+	return 1
 }
 
 // AddRule appends a probabilistic fault rule.
@@ -158,6 +198,7 @@ func (p *FaultPlan) Stats() FaultStatsSnapshot {
 		Reordered:  p.reordered.Value(),
 		Delayed:    p.delayed.Value(),
 		Blocked:    p.blockedCnt.Value(),
+		Slowed:     p.slowedCnt.Value(),
 	}
 }
 

@@ -209,3 +209,58 @@ func TestFaultPlanWildcardAndFilter(t *testing.T) {
 		t.Fatalf("wrong message survived: %v", got)
 	}
 }
+
+func TestFaultPlanSlowWorker(t *testing.T) {
+	p := NewFaultPlan(1)
+	if got := p.serviceMultiplier("w0"); got != 1 {
+		t.Fatalf("healthy node multiplier = %v, want 1", got)
+	}
+	p.SetSlow("w0", 8)
+	if got := p.serviceMultiplier("w0"); got != 8 {
+		t.Fatalf("slowed node multiplier = %v, want 8", got)
+	}
+	if got := p.serviceMultiplier("w1"); got != 1 {
+		t.Fatalf("other node multiplier = %v, want 1", got)
+	}
+	// Each consultation that found an active slowdown counts as one
+	// stretched task execution.
+	if got := p.Stats().Slowed; got != 1 {
+		t.Fatalf("Slowed stat = %d, want 1", got)
+	}
+	// A factor <= 1 removes the fault rather than installing a speed-up.
+	p.SetSlow("w0", 1)
+	if got := p.serviceMultiplier("w0"); got != 1 {
+		t.Fatalf("multiplier after SetSlow(1) = %v, want 1", got)
+	}
+	p.SetSlow("w0", 4)
+	p.SetSlow("w1", 4)
+	p.ClearSlow()
+	for _, id := range []NodeID{"w0", "w1"} {
+		if got := p.serviceMultiplier(id); got != 1 {
+			t.Fatalf("multiplier for %s after ClearSlow = %v, want 1", id, got)
+		}
+	}
+	if got := p.Stats().Slowed; got != 1 {
+		t.Fatalf("Slowed stat counted healthy consultations: %d, want 1", got)
+	}
+}
+
+func TestInMemNetworkServiceMultiplier(t *testing.T) {
+	n := NewInMemNetwork(InMemConfig{})
+	defer n.Close()
+	// ServiceSlower must hold with and without an installed plan.
+	var _ ServiceSlower = n
+	if got := n.ServiceMultiplier("w0"); got != 1 {
+		t.Fatalf("multiplier without plan = %v, want 1", got)
+	}
+	p := NewFaultPlan(1)
+	n.SetFaultPlan(p)
+	p.SetSlow("w0", 3)
+	if got := n.ServiceMultiplier("w0"); got != 3 {
+		t.Fatalf("multiplier with plan = %v, want 3", got)
+	}
+	n.SetFaultPlan(nil)
+	if got := n.ServiceMultiplier("w0"); got != 1 {
+		t.Fatalf("multiplier after plan removal = %v, want 1", got)
+	}
+}

@@ -103,6 +103,19 @@ func (n *InMemNetwork) SetFaultPlan(p *FaultPlan) {
 	n.mu.Unlock()
 }
 
+// ServiceMultiplier implements ServiceSlower: it reports the SlowWorker
+// service-time multiplier the installed fault plan (if any) prescribes for
+// node id. Healthy nodes — and all nodes when no plan is installed — get 1.
+func (n *InMemNetwork) ServiceMultiplier(id NodeID) float64 {
+	n.mu.Lock()
+	plan := n.fault
+	n.mu.Unlock()
+	if plan == nil {
+		return 1
+	}
+	return plan.serviceMultiplier(id)
+}
+
 // Register implements Network.
 func (n *InMemNetwork) Register(id NodeID, h Handler) error {
 	if err := validateID(id); err != nil {

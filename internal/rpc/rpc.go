@@ -56,6 +56,16 @@ type FailureInjector interface {
 	Recover(id NodeID)
 }
 
+// ServiceSlower is implemented by transports that can simulate degraded
+// machines: ServiceMultiplier reports the factor by which node id's task
+// service time is currently stretched (1 = healthy). Workers consult it
+// around task execution; it is a property of the simulated machine, not of
+// any network link, but it lives on the transport because that is the one
+// object a chaos harness shares with every node.
+type ServiceSlower interface {
+	ServiceMultiplier(id NodeID) float64
+}
+
 // Sizer lets a message report its approximate wire size so the in-memory
 // transport can charge bandwidth for it. Messages that do not implement
 // Sizer are charged defaultWireSize bytes.
