@@ -21,6 +21,17 @@ import (
 	"time"
 
 	"drizzle/internal/bench"
+	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
+	"drizzle/internal/trace"
+)
+
+// obsRegistry and obsTracer, when -obs-addr is set, are shared by every
+// streaming experiment in the run so the live endpoints show counters and
+// spans while the benchmarks execute.
+var (
+	obsRegistry *metrics.Registry
+	obsTracer   *trace.Tracer
 )
 
 type experiment struct {
@@ -48,6 +59,8 @@ func yahooOpts(quick bool) bench.YahooOpts {
 		o.Stream.Batches = 150
 		o.Stream.Warmup = 2 * time.Second
 	}
+	o.Stream.Metrics = obsRegistry
+	o.Stream.Tracer = obsTracer
 	return o
 }
 
@@ -132,10 +145,23 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		name  = flag.String("experiment", "all", "experiment to run (all, list, or one of the ids)")
-		quick = flag.Bool("quick", false, "reduced-scale runs for a fast pass")
+		name    = flag.String("experiment", "all", "experiment to run (all, list, or one of the ids)")
+		quick   = flag.Bool("quick", false, "reduced-scale runs for a fast pass")
+		obsAddr = flag.String("obs-addr", "", "observability HTTP address (/metrics, /metricsz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		obsRegistry = metrics.NewRegistry()
+		obsTracer = trace.New("bench", trace.DefaultCapacity)
+		srv, err := obs.Serve(*obsAddr, obsRegistry, obsTracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoints on http://%s (metrics, metricsz, tracez, debug/pprof)\n", srv.Addr())
+	}
 
 	exps := experiments()
 	if *name == "list" {

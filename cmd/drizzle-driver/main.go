@@ -9,19 +9,25 @@
 //
 // Jobs are built-in (see internal/jobs): plans contain closures, so every
 // process registers the same plans by name and only the name travels.
+//
+// With -obs-addr the driver serves live observability endpoints (/metrics,
+// /metricsz, /tracez, /debug/pprof/); -trace-out writes the run's span ring
+// as a Chrome trace (load it at https://ui.perfetto.dev) on exit.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"drizzle/internal/engine"
 	"drizzle/internal/jobs"
+	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
 )
 
 type workerList []string
@@ -37,20 +43,25 @@ func (w *workerList) Set(v string) error {
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7100", "driver listen address")
-		job     = flag.String("job", jobs.YahooDemo, "built-in job to run")
-		batches = flag.Int("batches", 100, "micro-batches to execute")
-		mode    = flag.String("mode", "drizzle", "scheduling mode: drizzle or bsp")
-		group   = flag.Int("group", 10, "group size (drizzle mode)")
-		tune    = flag.Bool("autotune", false, "enable AIMD group-size tuning")
-		spec    = flag.Bool("speculation", false, "enable straggler mitigation (speculative copies + health-weighted placement)")
-		workers workerList
+		listen   = flag.String("listen", "127.0.0.1:7100", "driver listen address")
+		job      = flag.String("job", jobs.YahooDemo, "built-in job to run")
+		batches  = flag.Int("batches", 100, "micro-batches to execute")
+		mode     = flag.String("mode", "drizzle", "scheduling mode: drizzle or bsp")
+		group    = flag.Int("group", 10, "group size (drizzle mode)")
+		tune     = flag.Bool("autotune", false, "enable AIMD group-size tuning")
+		spec     = flag.Bool("speculation", false, "enable straggler mitigation (speculative copies + health-weighted placement)")
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address (/metrics, /metricsz, /tracez, pprof); empty disables")
+		traceOut = flag.String("trace-out", "", "write the run's spans as a Chrome trace (Perfetto-loadable) to this file on exit")
+		sample   = flag.Int("trace-sample", 1, "trace every Nth scheduling group (1 = all, 0 = none)")
+		workers  workerList
 	)
 	flag.Var(&workers, "worker", "worker id=addr (repeatable)")
 	flag.Parse()
 
+	log := obs.Component(nil, "driver")
 	if len(workers) == 0 {
-		log.Fatal("drizzle-driver: at least one -worker id=addr is required")
+		log.Error("at least one -worker id=addr is required")
+		os.Exit(1)
 	}
 	cfg := engine.DefaultConfig()
 	cfg.GroupSize = *group
@@ -65,34 +76,61 @@ func main() {
 	case "bsp":
 		cfg.Mode = engine.ModeBSP
 	default:
-		log.Fatalf("drizzle-driver: unknown mode %q", *mode)
+		log.Error("unknown mode", "mode", *mode)
+		os.Exit(1)
+	}
+
+	registry := metrics.NewRegistry()
+	tracer := trace.New("driver", trace.DefaultCapacity)
+	tracer.SetSampleEvery(*sample)
+	cfg.Metrics = registry
+	cfg.Tracer = tracer
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, registry, tracer)
+		if err != nil {
+			log.Error("observability server failed", "addr", *obsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("observability endpoints up", "addr", srv.Addr())
 	}
 
 	reg := engine.NewRegistry()
 	if err := jobs.RegisterBuiltin(reg); err != nil {
-		log.Fatalf("drizzle-driver: %v", err)
+		log.Error("job registration failed", "err", err)
+		os.Exit(1)
 	}
 
-	net := rpc.NewTCPNetwork()
+	tcpCfg := rpc.DefaultTCPConfig()
+	tcpCfg.Metrics = registry
+	net := rpc.NewTCPNetworkWithConfig(tcpCfg)
 	defer net.Close()
 	net.SetListenAddr("driver", *listen)
 	driver := engine.NewDriver("driver", net, reg, cfg, nil)
 	if err := driver.Start(); err != nil {
-		log.Fatalf("drizzle-driver: %v", err)
+		log.Error("driver start failed", "err", err)
+		os.Exit(1)
 	}
 	defer driver.Stop()
 
 	for _, spec := range workers {
 		parts := strings.SplitN(spec, "=", 2)
 		driver.AddWorkerAddr(rpc.NodeID(parts[0]), parts[1])
-		log.Printf("drizzle-driver: admitted worker %s at %s", parts[0], parts[1])
+		log.Info("admitted worker", "worker", parts[0], "addr", parts[1])
 	}
 
-	log.Printf("drizzle-driver: running %s for %d micro-batches in %s mode (group %d)",
-		*job, *batches, *mode, *group)
+	log.Info("run starting", "job", *job, "batches", *batches, "mode", *mode, "group", *group)
 	stats, err := driver.Run(*job, *batches)
+	if *traceOut != "" {
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			log.Error("trace export failed", "path", *traceOut, "err", werr)
+		} else {
+			log.Info("trace written", "path", *traceOut, "spans", tracer.Len())
+		}
+	}
 	if err != nil {
-		log.Printf("drizzle-driver: run failed: %v", err)
+		log.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("completed %d batches in %v\n", stats.Batches, stats.Wall.Round(time.Millisecond))
@@ -107,4 +145,16 @@ func main() {
 		last := stats.TunerTrace[len(stats.TunerTrace)-1]
 		fmt.Printf("tuner: final group %d at %.1f%% overhead\n", last.Group, last.Overhead*100)
 	}
+}
+
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,10 +1,12 @@
 // Command drizzle-worker runs one executor node of a real TCP cluster. See
-// cmd/drizzle-driver for the full deployment walkthrough.
+// cmd/drizzle-driver for the full deployment walkthrough. With -obs-addr
+// the worker serves its own /metrics, /metricsz, /tracez and pprof
+// endpoints; worker-side spans (task, task.fetch, task.execute) appear here
+// when the driver samples the owning group.
 package main
 
 import (
 	"flag"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -12,7 +14,10 @@ import (
 
 	"drizzle/internal/engine"
 	"drizzle/internal/jobs"
+	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
 )
 
 func main() {
@@ -23,33 +28,55 @@ func main() {
 		slots     = flag.Int("slots", 4, "executor slots")
 		heartbeat = flag.Duration("heartbeat", 200*time.Millisecond, "heartbeat interval (must be well under the driver's heartbeat timeout)")
 		slowdown  = flag.Float64("slowdown", 0, "multiply this worker's task service time (testing aid for straggler mitigation; <=1 runs at full speed)")
+		obsAddr   = flag.String("obs-addr", "", "observability HTTP address (/metrics, /metricsz, /tracez, pprof); empty disables")
 	)
 	flag.Parse()
+
+	log := obs.Component(nil, "worker").With("node", *id)
+
+	registry := metrics.NewRegistry()
+	tracer := trace.New(*id, trace.DefaultCapacity)
 
 	cfg := engine.DefaultConfig()
 	cfg.SlotsPerWorker = *slots
 	cfg.HeartbeatInterval = *heartbeat
 	cfg.Slowdown = *slowdown
+	cfg.Metrics = registry
+	cfg.Tracer = tracer
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, registry, tracer)
+		if err != nil {
+			log.Error("observability server failed", "addr", *obsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("observability endpoints up", "addr", srv.Addr())
+	}
 
 	reg := engine.NewRegistry()
 	if err := jobs.RegisterBuiltin(reg); err != nil {
-		log.Fatalf("drizzle-worker: %v", err)
+		log.Error("job registration failed", "err", err)
+		os.Exit(1)
 	}
 
-	net := rpc.NewTCPNetwork()
+	tcpCfg := rpc.DefaultTCPConfig()
+	tcpCfg.Metrics = registry
+	net := rpc.NewTCPNetworkWithConfig(tcpCfg)
 	defer net.Close()
 	net.SetListenAddr(rpc.NodeID(*id), *listen)
 	net.Announce("driver", *driver)
 
 	w := engine.NewWorker(rpc.NodeID(*id), "driver", net, reg, cfg)
 	if err := w.Start(); err != nil {
-		log.Fatalf("drizzle-worker: %v", err)
+		log.Error("worker start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("drizzle-worker: %s listening on %s, driver at %s", *id, *listen, *driver)
+	log.Info("listening", "addr", *listen, "driver", *driver)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("drizzle-worker: %s shutting down", *id)
+	log.Info("shutting down")
 	w.Stop()
 }

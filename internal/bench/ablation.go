@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"drizzle/internal/dag"
 	"drizzle/internal/data"
 	"drizzle/internal/engine"
+	"drizzle/internal/metrics"
 	"drizzle/internal/rpc"
 	"drizzle/internal/streaming"
 	"drizzle/internal/workload"
@@ -41,30 +43,57 @@ func GroupSweep(o GroupSweepOpts) (*Report, error) {
 		return c
 	}())
 	job := YahooStreamJob(y)
-	r.Printf("%-8s %12s %10s %10s %10s", "group", "coordination", "overhead", "p50", "p95")
+	// The split comes out of the metrics registry rather than RunStats: the
+	// driver accumulates drizzle_driver_{coord,exec}_nanos_total labeled by
+	// group size, and a snapshot delta isolates each run's contribution even
+	// on a shared (live-served) registry.
+	reg := o.Yahoo.Stream.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r.Printf("%-8s %12s %12s %10s %10s %10s", "group", "coordination", "execution", "overhead", "p50", "p95")
 	for _, g := range o.Groups {
 		s := o.Yahoo.Stream
 		s.Mode = engine.ModeDrizzle
 		s.GroupSize = g
+		s.Metrics = reg
+		prev := reg.Snapshot()
 		res, err := RunMicroBatch(job, s)
 		if err != nil {
 			return nil, err
 		}
-		total := res.Stats.Coord + res.Stats.Exec
+		coord, exec := coordExecSplit(reg.Snapshot().Delta(prev))
+		total := coord + exec
 		share := 0.0
 		if total > 0 {
-			share = float64(res.Stats.Coord) / float64(total)
+			share = float64(coord) / float64(total)
 		}
-		r.Printf("%-8d %12v %9.1f%% %9.1fms %9.1fms",
-			g, res.Stats.Coord.Round(time.Millisecond), share*100,
+		r.Printf("%-8d %12v %12v %9.1f%% %9.1fms %9.1fms",
+			g, coord.Round(time.Millisecond), exec.Round(time.Millisecond), share*100,
 			res.Hist.Quantile(0.5), res.Hist.Quantile(0.95))
-		r.Record(key("coord-ms", g), ms(res.Stats.Coord))
+		r.Record(key("coord-ms", g), ms(coord))
+		r.Record(key("exec-ms", g), ms(exec))
 		r.Record(key("overhead", g), share)
 		r.Record(key("p50", g), res.Hist.Quantile(0.5))
 	}
 	r.Printf("")
 	r.Printf("larger groups amortize coordination; the AIMD tuner picks the smallest group inside the overhead band")
 	return r, nil
+}
+
+// coordExecSplit sums the driver's coordination and execution counters
+// across group-size labels (a run whose batch count is not divisible by the
+// group size finishes with a smaller final group under its own label).
+func coordExecSplit(d metrics.Snapshot) (coord, exec time.Duration) {
+	for k, v := range d.Counters {
+		switch {
+		case strings.HasPrefix(k, "drizzle_driver_coord_nanos_total"):
+			coord += time.Duration(v)
+		case strings.HasPrefix(k, "drizzle_driver_exec_nanos_total"):
+			exec += time.Duration(v)
+		}
+	}
+	return coord, exec
 }
 
 // TreeAggregationAblation compares the §3.6 treeReduce communication

@@ -11,6 +11,7 @@ import (
 	"drizzle/internal/metrics"
 	"drizzle/internal/rpc"
 	"drizzle/internal/streaming"
+	"drizzle/internal/trace"
 	"drizzle/internal/workload"
 )
 
@@ -78,6 +79,12 @@ type StreamOpts struct {
 	SlowFactor float64
 	// Speculation enables straggler mitigation in the micro-batch engines.
 	Speculation bool
+	// Metrics, when set, is the registry the run's engine counters register
+	// into — drizzle-bench serves it live behind -obs-addr, and GroupSweep
+	// reads the per-group-size coordination/execution split back out of it.
+	Metrics *metrics.Registry
+	// Tracer, when set, records the run's micro-batch lifecycle spans.
+	Tracer *trace.Tracer
 }
 
 // DefaultStreamOpts is the laptop-scale equivalent of the paper's cluster
@@ -139,6 +146,8 @@ func RunMicroBatch(job StreamJob, o StreamOpts) (*StreamResult, error) {
 	cfg.FetchTimeout = 500 * time.Millisecond
 	cfg.StallResend = 3 * time.Second
 	cfg.Speculation = o.Speculation
+	cfg.Metrics = o.Metrics
+	cfg.Tracer = o.Tracer
 
 	var faults *rpc.FaultPlan
 	if o.SlowWorkerAt > 0 {

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/core"
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
+)
+
+// These benchmarks bound the tracer's cost on the group-scheduling hot
+// path, the claim EXPERIMENTS.md records: a disabled (nil) tracer must add
+// well under 1% to a group scheduling decision. The instrumentation around
+// one group is a handful of span sites; comparing the per-site disabled
+// cost against the cost of planning one group gives the overhead ratio.
+
+// benchSpanSite mirrors one driver instrumentation site: sample the group,
+// open a span, stamp identity, close it.
+func benchSpanSite(tr *trace.Tracer, seq int64) trace.SpanID {
+	t := tr.Sampled(seq)
+	sp := t.Begin("group.schedule", 0)
+	sp.SetNode("driver")
+	sp.SetTask(seq, 0, 0, 0)
+	return sp.End()
+}
+
+// BenchmarkSpanSiteDisabled measures one full instrumentation site on a nil
+// tracer — the cost every unsampled or untraced group pays.
+func BenchmarkSpanSiteDisabled(b *testing.B) {
+	var tr *trace.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSpanSite(tr, int64(i))
+	}
+}
+
+// BenchmarkSpanSiteEnabled measures the same site recording into a live
+// ring, the cost a sampled group pays per span.
+func BenchmarkSpanSiteEnabled(b *testing.B) {
+	tr := trace.New("bench", 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSpanSite(tr, int64(i))
+	}
+}
+
+func benchPlannerJob() *dag.Job {
+	src := func(dag.BatchInfo) []data.Record { return nil }
+	return &dag.Job{
+		Name:     "bench",
+		Interval: 100 * time.Millisecond,
+		Stages: []dag.Stage{
+			{ID: 0, NumPartitions: 8, Source: src, Shuffle: &dag.ShuffleSpec{NumReducers: 4}},
+			{ID: 1, NumPartitions: 4, Parents: []int{0}, Reduce: dag.Sum},
+		},
+	}
+}
+
+// BenchmarkPlanGroup measures the group-scheduling decision the span sites
+// wrap: planning a 10-batch group of the 8x4 job used across the streaming
+// benchmarks. The disabled-tracer overhead ratio is
+// (spans-per-group x BenchmarkSpanSiteDisabled) / BenchmarkPlanGroup.
+func BenchmarkPlanGroup(b *testing.B) {
+	g := &core.GroupPlanner{JobName: "bench", Job: benchPlannerJob(), StartNanos: 1}
+	workers := make([]rpc.NodeID, 8)
+	for i := range workers {
+		workers[i] = rpc.NodeID(string(rune('a' + i)))
+	}
+	p := core.NewPlacement(1, workers)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		byWorker, all := g.PlanGroup(p, core.BatchID(i*10), 10, int64(i))
+		if len(byWorker) == 0 || len(all) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

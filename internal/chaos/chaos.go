@@ -19,13 +19,18 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"drizzle/internal/engine"
+	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
 )
 
 // jobName is the registry name of the chaos job; each Run uses a fresh
@@ -208,6 +213,12 @@ type Report struct {
 	// CheckpointPuts counts snapshots the driver persisted.
 	CheckpointPuts int64
 	Violations     []string
+
+	// tracer and registry hold the run's observability state so a failing
+	// seed's full lifecycle (spans + counters) can be dumped for post-mortem
+	// debugging via WriteArtifacts.
+	tracer   *trace.Tracer
+	registry *metrics.Registry
 }
 
 func (r *Report) violatef(format string, args ...any) {
@@ -223,6 +234,51 @@ func (r *Report) Err() error {
 	return fmt.Errorf("chaos: seed %d (%s): %d invariant violation(s):\n  - %s",
 		r.Scenario.Seed, r.Scenario.Name, len(r.Violations),
 		strings.Join(r.Violations, "\n  - "))
+}
+
+// WriteArtifacts dumps the run's observability state into dir (created if
+// missing): the span ring as JSONL and a Perfetto-loadable Chrome trace,
+// plus a metrics snapshot as JSON. It returns the paths written. Intended
+// for failing seeds: the test harness calls it and names the directory in
+// the failure message so the exact run can be inspected offline.
+func (r *Report) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, fn func(f *os.File) error) error {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	spans := r.tracer.Snapshot()
+	if err := write("trace.jsonl", func(f *os.File) error {
+		return trace.WriteJSONL(f, spans)
+	}); err != nil {
+		return paths, err
+	}
+	if err := write("trace_chrome.json", func(f *os.File) error {
+		return trace.WriteChromeTrace(f, spans)
+	}); err != nil {
+		return paths, err
+	}
+	if err := write("metrics.json", func(f *os.File) error {
+		return r.registry.Snapshot().WriteJSON(f)
+	}); err != nil {
+		return paths, err
+	}
+	return paths, nil
 }
 
 // Summary is a one-line human description of the run, for verbose test
@@ -320,7 +376,11 @@ func (c *cluster) stopAll() {
 // future cmd/ chaos binary alike.
 func Run(sc Scenario) *Report {
 	sc = sc.withDefaults()
-	rep := &Report{Scenario: sc}
+	rep := &Report{
+		Scenario: sc,
+		tracer:   trace.New("chaos", trace.DefaultCapacity),
+		registry: metrics.NewRegistry(),
+	}
 
 	net := rpc.NewInMemNetwork(rpc.InMemConfig{
 		Latency: 200 * time.Microsecond,
@@ -342,6 +402,13 @@ func Run(sc Scenario) *Report {
 
 	store := newWatermarkStore()
 	cfg := sc.engineConfig()
+	// Every run records its full lifecycle: if the oracle flags a violation
+	// the spans and counters are dumped via WriteArtifacts for post-mortem.
+	// Engine logs are discarded — scenarios inject thousands of faults and
+	// each would warn; the artifacts carry the forensic record instead.
+	cfg.Tracer = rep.tracer
+	cfg.Metrics = rep.registry
+	cfg.Logger = obs.Discard()
 	driver := engine.NewDriver("driver", net, reg, cfg, store)
 	if err := driver.Start(); err != nil {
 		rep.violatef("start driver: %v", err)

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"reflect"
@@ -11,20 +12,39 @@ import (
 
 	"drizzle/internal/core"
 	"drizzle/internal/engine"
+	"drizzle/internal/metrics"
 	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
 )
 
 // checkClean runs a scenario and fails the test with the reproduction seed
-// if any oracle invariant broke.
+// if any oracle invariant broke. The failing run's spans and metrics are
+// dumped to a temp directory named in the failure message.
 func checkClean(t *testing.T, sc Scenario) *Report {
 	t.Helper()
 	rep := Run(sc)
 	t.Log(rep.Summary())
 	if err := rep.Err(); err != nil {
-		t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run %s ./internal/chaos\n%v",
-			sc.Seed, t.Name(), err)
+		t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run %s ./internal/chaos\nartifacts: %s\n%v",
+			sc.Seed, t.Name(), dumpArtifacts(t, rep), err)
 	}
 	return rep
+}
+
+// dumpArtifacts writes a failing report's trace + metrics to a temp dir
+// (kept after the test: os.MkdirTemp, not t.TempDir, so the post-mortem
+// record survives the run) and returns the directory for the failure
+// message.
+func dumpArtifacts(t *testing.T, rep *Report) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "chaos-seed-"+strconv.FormatInt(rep.Scenario.Seed, 10)+"-")
+	if err != nil {
+		return "(mkdtemp failed: " + err.Error() + ")"
+	}
+	if _, err := rep.WriteArtifacts(dir); err != nil {
+		return dir + " (incomplete: " + err.Error() + ")"
+	}
+	return dir
 }
 
 // TestChaosBaseline sanity-checks the harness itself: with no faults the
@@ -40,6 +60,60 @@ func TestChaosBaseline(t *testing.T) {
 	}
 	if rep.CheckpointPuts == 0 {
 		t.Error("baseline run persisted no checkpoints")
+	}
+}
+
+// TestWriteArtifacts checks the failing-seed dump: the trace ring and
+// metrics snapshot land in the directory as parseable files with real
+// content from the run.
+func TestWriteArtifacts(t *testing.T) {
+	t.Parallel()
+	rep := checkClean(t, Scenario{
+		Name: "artifacts", Seed: 11, Mode: engine.ModeDrizzle,
+		Workers: 2, Batches: 8, GroupSize: 2,
+	})
+	dir := t.TempDir()
+	paths, err := rep.WriteArtifacts(dir)
+	if err != nil {
+		t.Fatalf("WriteArtifacts: %v", err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("expected 3 artifacts, got %v", paths)
+	}
+	jf, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	spans, err := trace.ReadJSONL(jf)
+	if err != nil {
+		t.Fatalf("trace.jsonl unparseable: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Error("trace.jsonl is empty; the run recorded no spans")
+	}
+	cf, err := os.Open(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	ct, err := trace.ReadChromeTrace(cf)
+	if err != nil {
+		t.Fatalf("trace_chrome.json unparseable: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+	mb, err := os.ReadFile(paths[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics.json unparseable: %v", err)
+	}
+	if snap.Counters["drizzle_driver_groups_total"] == 0 {
+		t.Errorf("metrics.json missing driver counters: %v", snap.Counters)
 	}
 }
 
@@ -241,7 +315,8 @@ func TestChaosRandomized(t *testing.T) {
 			rep := Run(RandomScenario(seed))
 			t.Log(rep.Summary())
 			if err := rep.Err(); err != nil {
-				t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run TestChaosRandomized ./internal/chaos\n%v", seed, err)
+				t.Errorf("reproduce with: CHAOS_SEED=%d go test -race -run TestChaosRandomized ./internal/chaos\nartifacts: %s\n%v",
+					seed, dumpArtifacts(t, rep), err)
 			}
 		})
 	}

@@ -95,4 +95,11 @@ type TaskDescriptor struct {
 	// into empty state, and the late restore would then silently erase that
 	// batch's contribution.
 	MinState BatchID
+	// TraceSpan is the span ID of the driver-side scheduling span that
+	// planned this task (0 when the group was not sampled). Workers parent
+	// their task spans under it, which is what stitches one micro-batch's
+	// schedule → pre-schedule → fetch → execute spans across processes, and
+	// doubles as the sampling decision: a worker records task spans only
+	// when the field is non-zero.
+	TraceSpan uint64
 }

@@ -108,6 +108,10 @@ type TaskStatus struct {
 	// QueueNanos is the time between the task becoming runnable and
 	// starting, reported for the scheduler-delay breakdown.
 	QueueNanos int64
+	// TraceSpan echoes the worker-side task span's ID (0 when untraced) so
+	// the driver parents its commit span under the task that produced the
+	// report.
+	TraceSpan uint64
 }
 
 // Heartbeat is the worker liveness signal.

@@ -17,9 +17,13 @@
 package engine
 
 import (
+	"log/slog"
 	"time"
 
 	"drizzle/internal/groupsize"
+	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
+	"drizzle/internal/trace"
 )
 
 // Mode selects the scheduling discipline.
@@ -167,6 +171,17 @@ type Config struct {
 
 	// Costs emulates driver-side scheduling costs.
 	Costs CostModel
+
+	// Tracer records micro-batch lifecycle spans. Nil disables tracing
+	// (every instrumentation site is nil-safe and costs a predicted branch).
+	Tracer *trace.Tracer
+	// Metrics is the registry engine counters/gauges/histograms register
+	// into. Nil-safe: without a registry, instruments still work but are
+	// not exported.
+	Metrics *metrics.Registry
+	// Logger is the base structured logger; the driver and workers scope it
+	// per component. Nil picks the default stderr text logger.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns a Config suitable for in-process tests: Drizzle
@@ -237,6 +252,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthProbation <= 0 {
 		c.HealthProbation = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Default()
 	}
 	return c
 }

@@ -3,8 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,7 +14,9 @@ import (
 	"drizzle/internal/dag"
 	"drizzle/internal/groupsize"
 	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 	"drizzle/internal/rpc"
+	"drizzle/internal/trace"
 )
 
 // Driver is the centralized scheduler. A single driver runs one job at a
@@ -25,6 +28,8 @@ type Driver struct {
 	cfg  Config
 	reg  *Registry
 	ckpt checkpoint.Store
+	log  *slog.Logger
+	m    driverMetrics
 
 	mu        sync.Mutex
 	workers   map[rpc.NodeID]*workerState
@@ -78,6 +83,44 @@ type RunStats struct {
 	Health map[rpc.NodeID]WorkerHealthInfo
 }
 
+// driverMetrics caches the driver's registry instruments so hot paths do
+// not rebuild series keys per event. All lookups are nil-registry safe.
+type driverMetrics struct {
+	groups      *metrics.Counter
+	batches     *metrics.Counter
+	commits     *metrics.Counter
+	failures    *metrics.Counter
+	resubmits   *metrics.Counter
+	specLaunch  *metrics.Counter
+	specWon     *metrics.Counter
+	specWasted  *metrics.Counter
+	specKilled  *metrics.Counter
+	checkpoints *metrics.Counter
+	stalls      *metrics.Counter
+	groupSize   *metrics.Gauge
+	taskRunMs   *metrics.Histogram
+	taskQueueMs *metrics.Histogram
+}
+
+func newDriverMetrics(r *metrics.Registry) driverMetrics {
+	return driverMetrics{
+		groups:      r.Counter("drizzle_driver_groups_total"),
+		batches:     r.Counter("drizzle_driver_batches_total"),
+		commits:     r.Counter("drizzle_driver_tasks_committed_total"),
+		failures:    r.Counter("drizzle_driver_worker_failures_total"),
+		resubmits:   r.Counter("drizzle_driver_task_resubmits_total"),
+		specLaunch:  r.Counter("drizzle_driver_speculative_launched_total"),
+		specWon:     r.Counter("drizzle_driver_speculative_won_total"),
+		specWasted:  r.Counter("drizzle_driver_speculative_wasted_total"),
+		specKilled:  r.Counter("drizzle_driver_speculative_killed_total"),
+		checkpoints: r.Counter("drizzle_driver_checkpoints_stored_total"),
+		stalls:      r.Counter("drizzle_driver_stall_resends_total"),
+		groupSize:   r.Gauge("drizzle_driver_group_size"),
+		taskRunMs:   r.Histogram("drizzle_driver_task_run_ms"),
+		taskQueueMs: r.Histogram("drizzle_driver_task_queue_ms"),
+	}
+}
+
 // NewDriver constructs a driver; call Start to attach it to the network.
 // ckptStore may be nil, in which case an in-memory store is used.
 func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptStore checkpoint.Store) *Driver {
@@ -91,6 +134,8 @@ func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptSt
 		cfg:      cfg,
 		reg:      reg,
 		ckpt:     ckptStore,
+		log:      obs.Component(cfg.Logger, "driver").With("node", string(id)),
+		m:        newDriverMetrics(cfg.Metrics),
 		workers:  make(map[rpc.NodeID]*workerState),
 		addrs:    make(map[rpc.NodeID]string),
 		health:   newHealthTracker(cfg),
@@ -203,17 +248,23 @@ func (d *Driver) handle(from rpc.NodeID, msg any) {
 		case <-d.stop:
 		}
 	case core.CheckpointData:
+		span := d.cfg.Tracer.Begin("checkpoint.store", 0)
+		span.SetNode(string(d.id))
+		span.SetTask(int64(m.UpTo), m.Stage, m.Partition, 0)
 		key := checkpoint.StateKey{Job: m.Job, Stage: m.Stage, Partition: m.Partition}
 		snap, err := checkpoint.DecodeSnapshot(key, m.State)
 		if err != nil {
-			log.Printf("engine: driver: bad checkpoint from %s for %v: %v", from, key, err)
+			d.log.Warn("bad checkpoint", "from", string(from), "stage", m.Stage, "part", m.Partition, "err", err)
 			return
 		}
 		if err := d.ckpt.Put(snap); err != nil {
-			log.Printf("engine: driver: store checkpoint %v: %v", key, err)
+			d.log.Warn("store checkpoint failed", "stage", m.Stage, "part", m.Partition, "err", err)
+		} else {
+			d.m.checkpoints.Inc()
 		}
+		span.End()
 	default:
-		log.Printf("engine: driver: unexpected message %T from %s", msg, from)
+		d.log.Warn("unexpected message", "type", fmt.Sprintf("%T", msg), "from", string(from))
 	}
 }
 
@@ -248,7 +299,7 @@ func (d *Driver) monitor() {
 func (d *Driver) broadcast(msg any) {
 	for _, w := range d.LiveWorkers() {
 		if err := d.net.Send(d.id, w, msg); err != nil {
-			log.Printf("engine: driver: send to %s: %v", w, err)
+			d.log.Warn("broadcast send failed", "to", string(w), "err", err)
 		}
 	}
 }
@@ -367,6 +418,7 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		if err != nil {
 			return nil, err
 		}
+		tuner.InstrumentMetrics(d.cfg.Metrics)
 	}
 
 	wallStart := time.Now()
@@ -397,6 +449,16 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		rs.stats.Coord += coord
 		rs.stats.Exec += exec
 		rs.stats.Groups = append(rs.stats.Groups, g)
+
+		// The coordination-vs-execution split, labeled by the group size
+		// that produced it — the registry-backed form of the measurement
+		// the AIMD tuner consumes (§3.4).
+		gl := strconv.Itoa(g)
+		d.m.groups.Inc()
+		d.m.batches.Add(int64(g))
+		d.cfg.Metrics.Counter("drizzle_driver_coord_nanos_total", "group_size", gl).Add(int64(coord))
+		d.cfg.Metrics.Counter("drizzle_driver_exec_nanos_total", "group_size", gl).Add(int64(exec))
+		d.m.groupSize.Set(float64(g))
 
 		b += core.BatchID(g)
 		groupSeq++
@@ -645,10 +707,34 @@ func (d *Driver) stampFloors(rs *runState, byWorker map[rpc.NodeID][]core.TaskDe
 	}
 }
 
+// stampTraceSpans writes the scheduling span's ID into every planned
+// descriptor so workers parent their task spans under it (and know the
+// group was sampled). A zero span leaves descriptors untouched.
+func stampTraceSpans(byWorker map[rpc.NodeID][]core.TaskDescriptor, span trace.SpanID) {
+	if span == 0 {
+		return
+	}
+	for _, descs := range byWorker {
+		for i := range descs {
+			descs[i].TraceSpan = uint64(span)
+		}
+	}
+}
+
 // runGroupDrizzle executes one scheduling group (§3.1/§3.2).
 func (d *Driver) runGroupDrizzle(rs *runState, first core.BatchID, g int, seq int64) (coord, exec time.Duration, err error) {
 	rs.groupFirst, rs.groupSize = first, g
+	// One sampling decision covers the whole group: when tr is nil (tracing
+	// off or group not sampled) every span below is a no-op, and workers see
+	// TraceSpan 0.
+	tr := d.cfg.Tracer.Sampled(seq)
+	gspan := tr.Begin("group", 0)
+	gspan.SetNode(string(d.id))
+	gspan.SetTask(int64(first), 0, 0, 0)
+
 	coordStart := time.Now()
+	sspan := tr.BeginAt("group.schedule", gspan.ID(), coordStart)
+	sspan.SetNode(string(d.id))
 	byWorker, all := rs.planner.PlanGroup(rs.placement, first, g, seq)
 	d.stampFloors(rs, byWorker)
 	rs.register(all, byWorker)
@@ -656,18 +742,28 @@ func (d *Driver) runGroupDrizzle(rs *runState, first core.BatchID, g int, seq in
 	// remaining g-1 (§3.1): that reuse is what group scheduling amortizes.
 	perBatch := len(all) / g
 	d.chargeCosts(perBatch, len(all)-perBatch, len(byWorker))
+	schedID := sspan.End()
+	stampTraceSpans(byWorker, schedID)
+
+	lspan := tr.Begin("group.launch", gspan.ID())
+	lspan.SetNode(string(d.id))
 	purge := d.purgeWatermark(rs)
 	for w, tasks := range byWorker {
 		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
-			log.Printf("engine: driver: launch to %s: %v", w, err)
+			d.log.Warn("launch send failed", "to", string(w), "err", err)
 		}
 	}
+	lspan.End()
 	pruneHolders(rs.mapHolders, purge)
 	coord = time.Since(coordStart)
 
 	execStart := time.Now()
+	wspan := tr.BeginAt("group.wait", gspan.ID(), execStart)
+	wspan.SetNode(string(d.id))
 	err = d.waitTasks(rs)
+	wspan.End()
 	exec = time.Since(execStart)
+	gspan.End()
 	return coord, exec, err
 }
 
@@ -679,16 +775,25 @@ func (d *Driver) runBatchBSP(rs *runState, b core.BatchID, seq int64) (coord, ex
 	if err := d.sleepUntil(rs, time.Unix(0, rs.planner.BatchCloseNanos(b))); err != nil {
 		return 0, 0, err
 	}
+	tr := d.cfg.Tracer.Sampled(seq)
+	gspan := tr.Begin("group", 0)
+	gspan.SetNode(string(d.id))
+	gspan.SetTask(int64(b), 0, 0, 0)
 	for si := range rs.planner.Job.Stages {
 		coordStart := time.Now()
+		sspan := tr.BeginAt("group.schedule", gspan.ID(), coordStart)
+		sspan.SetNode(string(d.id))
+		sspan.SetTask(int64(b), si, 0, 0)
 		byWorker, all := rs.planner.PlanStage(rs.placement, b, si, seq, rs.mapHolders)
 		d.stampFloors(rs, byWorker)
 		rs.register(all, byWorker)
 		d.chargeCosts(len(all), 0, len(byWorker))
+		schedID := sspan.End()
+		stampTraceSpans(byWorker, schedID)
 		purge := d.purgeWatermark(rs)
 		for w, tasks := range byWorker {
 			if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: purge}); err != nil {
-				log.Printf("engine: driver: launch to %s: %v", w, err)
+				d.log.Warn("launch send failed", "to", string(w), "err", err)
 			}
 		}
 		coord += time.Since(coordStart)
@@ -696,11 +801,18 @@ func (d *Driver) runBatchBSP(rs *runState, b core.BatchID, seq int64) (coord, ex
 		// Stage barrier: wait for every task of the stage before planning
 		// the next stage with the collected map-output locations.
 		execStart := time.Now()
+		wspan := tr.BeginAt("group.wait", gspan.ID(), execStart)
+		wspan.SetNode(string(d.id))
+		wspan.SetTask(int64(b), si, 0, 0)
 		if err := d.waitTasks(rs); err != nil {
+			wspan.End()
+			gspan.End()
 			return coord, exec, err
 		}
+		wspan.End()
 		exec += time.Since(execStart)
 	}
+	gspan.End()
 	pruneHolders(rs.mapHolders, d.purgeWatermark(rs))
 	return coord, exec, nil
 }
@@ -868,6 +980,7 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 			// and keeps its attempt budget. The copy is simply written off.
 			delete(rs.spec, st.ID)
 			rs.stats.SpeculationWasted++
+			d.m.specWasted.Inc()
 			if !st.NeedsJob && !st.NeedsState {
 				d.health.ObserveFailure(st.Worker)
 			}
@@ -881,11 +994,20 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 			}
 		}
 		rs.stats.Resubmits++
+		d.m.resubmits.Inc()
 		// Delay the retry: a failure usually means a machine just died,
 		// and the resubmission should happen after the membership update
 		// and lineage cleanup rather than chase the same dead holder.
 		rs.retryQ = append(rs.retryQ, retryEntry{id: st.ID, due: time.Now().Add(d.cfg.RetryDelay)})
 		return nil
+	}
+	// task.commit: the driver-side bookkeeping that makes the completion
+	// durable, parented under the worker's task span via the echoed ID.
+	var cspan trace.Active
+	if st.TraceSpan != 0 {
+		cspan = d.cfg.Tracer.Begin("task.commit", trace.SpanID(st.TraceSpan))
+		cspan.SetNode(string(d.id))
+		cspan.SetTask(int64(st.ID.Batch), st.ID.Stage, st.ID.Partition, st.Attempt)
 	}
 	rs.completed[st.ID] = true
 	delete(rs.outstanding, st.ID)
@@ -893,6 +1015,9 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 	rs.remaining--
 	rs.stats.TaskRun.ObserveMillis(float64(st.RunNanos) / 1e6)
 	rs.stats.TaskQueue.ObserveMillis(float64(st.QueueNanos) / 1e6)
+	d.m.commits.Inc()
+	d.m.taskRunMs.ObserveMillis(float64(st.RunNanos) / 1e6)
+	d.m.taskQueueMs.ObserveMillis(float64(st.QueueNanos) / 1e6)
 	rs.recordDuration(float64(st.RunNanos) / 1e6)
 	rs.notePeerDone(st.ID, time.Now())
 	d.health.ObserveSuccess(st.Worker, time.Duration(st.RunNanos))
@@ -901,9 +1026,11 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 		delete(rs.spec, st.ID)
 		if fromSpec {
 			rs.stats.SpeculationWon++
+			d.m.specWon.Inc()
 			d.killAttempt(rs, primary, st.ID, 0)
 		} else {
 			rs.stats.SpeculationWasted++
+			d.m.specWasted.Inc()
 			d.killAttempt(rs, sa.worker, st.ID, sa.attempt)
 		}
 	}
@@ -917,6 +1044,7 @@ func (d *Driver) onStatus(rs *runState, st core.TaskStatus) error {
 			d.relayDataReady(rs, dep, st.Worker)
 		}
 	}
+	cspan.End()
 	return nil
 }
 
@@ -929,6 +1057,7 @@ func (d *Driver) killAttempt(rs *runState, w rpc.NodeID, id core.TaskID, attempt
 		return
 	}
 	rs.stats.SpeculationKilled++
+	d.m.specKilled.Inc()
 	_ = d.net.Send(d.id, w, core.KillTask{Tasks: []core.TaskAttempt{{ID: id, Attempt: attempt}}})
 }
 
@@ -999,7 +1128,7 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 	d.chargeCosts(len(ids), 0, len(byWorker))
 	for w, tasks := range byWorker {
 		if err := d.net.Send(d.id, w, core.LaunchTasks{Tasks: tasks, PurgeBefore: d.purgeWatermark(rs)}); err != nil {
-			log.Printf("engine: driver: resubmit to %s: %v", w, err)
+			d.log.Warn("resubmit send failed", "to", string(w), "err", err)
 		}
 	}
 }
@@ -1102,14 +1231,17 @@ func (d *Driver) launchSpeculative(rs *runState, id core.TaskID, primary, target
 	}
 	d.chargeCosts(1, 0, 1)
 	if err := d.net.Send(d.id, target, core.LaunchTasks{Tasks: []core.TaskDescriptor{desc}, PurgeBefore: d.purgeWatermark(rs)}); err != nil {
-		log.Printf("engine: driver: speculative launch to %s: %v", target, err)
+		d.log.Warn("speculative launch send failed", "to", string(target), "err", err)
 		return
 	}
 	rs.spec[id] = specAttempt{worker: target, attempt: attempt}
 	rs.stats.SpeculationLaunched++
+	d.m.specLaunch.Inc()
 	d.health.ObserveStraggler(primary)
 	rs.shrinkPending = true
-	log.Printf("engine: driver: straggler %v on %s, speculative attempt %d on %s", id, primary, attempt, target)
+	d.log.Info("straggler detected, launching speculative copy",
+		"batch", int64(id.Batch), "stage", id.Stage, "part", id.Partition,
+		"on", string(primary), "attempt", attempt, "target", string(target))
 }
 
 // resendIncomplete is the stall safety net: re-deliver descriptors for all
@@ -1151,7 +1283,8 @@ func (d *Driver) resendIncomplete(rs *runState) {
 			frontier = append(frontier, producer)
 		}
 	}
-	log.Printf("engine: driver: stall detected, re-sending %d task(s): %v", len(ids), ids)
+	d.m.stalls.Inc()
+	d.log.Warn("stall detected, re-sending incomplete tasks", "count", len(ids), "tasks", fmt.Sprintf("%v", ids))
 	d.resubmit(rs, ids)
 }
 
@@ -1183,8 +1316,9 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 		// worker was stopped without a network-level failure).
 		fi.Fail(dead)
 	}
-	log.Printf("engine: driver: worker %s declared dead (epoch %d)", dead, newP.Epoch())
+	d.log.Warn("worker declared dead", "worker", string(dead), "epoch", newP.Epoch())
 	rs.stats.Failures++
+	d.m.failures.Inc()
 	// A failure is an adaptability event: shrink the group at the next
 	// boundary so re-planning happens sooner (§3.4).
 	rs.shrinkPending = true
@@ -1340,6 +1474,7 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 		return a.Partition < b.Partition
 	})
 	rs.stats.Resubmits += len(ids)
+	d.m.resubmits.Add(int64(len(ids)))
 	d.resubmit(rs, ids)
 }
 
@@ -1422,7 +1557,7 @@ func (d *Driver) awaitCheckpoints(keys []checkpoint.StateKey, upTo core.BatchID,
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	log.Printf("engine: driver: checkpoint wait timed out; migration will replay more batches")
+	d.log.Warn("checkpoint wait timed out; migration will replay more batches")
 }
 
 // alignedStart picks the job epoch: the next wall-clock instant aligned to

@@ -108,7 +108,13 @@ func newHealthTracker(cfg Config) *healthTracker {
 func (h *healthTracker) getLocked(id rpc.NodeID) *workerHealth {
 	wh, ok := h.workers[id]
 	if !ok {
-		wh = &workerHealth{ewma: metrics.NewEWMA(healthEWMAAlpha), gauge: &metrics.Gauge{}}
+		// The gauge lives in the shared registry (nil-safe) so operators can
+		// watch drizzle_worker_health_score{worker=...} move as stragglers
+		// are detected. A re-added worker reuses its series.
+		wh = &workerHealth{
+			ewma:  metrics.NewEWMA(healthEWMAAlpha),
+			gauge: h.cfg.Metrics.Gauge("drizzle_worker_health_score", "worker", string(id)),
+		}
 		h.workers[id] = wh
 	}
 	return wh

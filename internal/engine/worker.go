@@ -3,7 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -12,8 +12,10 @@ import (
 	"drizzle/internal/dag"
 	"drizzle/internal/data"
 	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 	"drizzle/internal/rpc"
 	"drizzle/internal/shuffle"
+	"drizzle/internal/trace"
 )
 
 // Worker is one executor node: it runs tasks in a fixed number of slots,
@@ -32,6 +34,8 @@ type Worker struct {
 	fetcher *shuffle.Fetcher
 	states  *StateStore
 
+	log *slog.Logger
+
 	mu        sync.Mutex
 	jobs      map[string]*jobInfo
 	placement core.Placement
@@ -40,7 +44,12 @@ type Worker struct {
 	// suppressed when they finish. Marks are garbage-collected by the purge
 	// watermark that rides on LaunchTasks.
 	kills     map[core.TaskAttempt]bool
-	killedCnt metrics.Counter
+	killedCnt *metrics.Counter
+
+	// Registry-backed task counters, labeled by worker.
+	mTasksOK     *metrics.Counter
+	mTasksFailed *metrics.Counter
+	mFetchDrop   *metrics.Counter
 
 	// fetchQ feeds the shuffle serve pool: block serving runs on dedicated
 	// goroutines instead of the transport's delivery goroutine, so a slow
@@ -72,6 +81,7 @@ func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config
 		net:    net,
 		cfg:    cfg,
 		reg:    reg,
+		log:    obs.Component(cfg.Logger, "worker").With("node", string(id)),
 		ls:     core.NewLocalScheduler(0),
 		store:  shuffle.NewStore(),
 		states: NewStateStore(),
@@ -79,10 +89,17 @@ func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config
 		kills:  make(map[core.TaskAttempt]bool),
 		fetchQ: make(chan shuffle.FetchRequest, cfg.ShuffleQueue),
 		stop:   make(chan struct{}),
+
+		killedCnt:    cfg.Metrics.Counter("drizzle_worker_tasks_killed_total", "worker", string(id)),
+		mTasksOK:     cfg.Metrics.Counter("drizzle_worker_tasks_ok_total", "worker", string(id)),
+		mTasksFailed: cfg.Metrics.Counter("drizzle_worker_tasks_failed_total", "worker", string(id)),
+		mFetchDrop:   cfg.Metrics.Counter("drizzle_worker_fetch_dropped_total", "worker", string(id)),
 	}
 	send := func(to rpc.NodeID, msg any) error { return net.Send(id, to, msg) }
+	w.store.InstrumentMetrics(cfg.Metrics, string(id))
 	w.service = shuffle.NewService(w.store, send)
 	w.fetcher = shuffle.NewFetcher(id, send)
+	w.fetcher.InstrumentMetrics(cfg.Metrics)
 	return w
 }
 
@@ -180,7 +197,8 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 		default:
 			// Shed rather than block the delivery goroutine: the fetcher
 			// times out and the driver retries the task.
-			log.Printf("engine: worker %s: fetch queue full, dropping request from %s", w.id, m.From)
+			w.mFetchDrop.Inc()
+			w.log.Warn("fetch queue full, dropping request", "from", string(m.From))
 		}
 	case shuffle.FetchResponse:
 		w.fetcher.HandleResponse(m)
@@ -189,7 +207,7 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 	case core.RestoreState:
 		w.onRestoreState(m)
 	default:
-		log.Printf("engine: worker %s: unexpected message %T from %s", w.id, msg, from)
+		w.log.Warn("unexpected message", "type", fmt.Sprintf("%T", msg), "from", string(from))
 	}
 }
 
@@ -246,7 +264,7 @@ func (w *Worker) KilledTasks() int64 { return w.killedCnt.Value() }
 func (w *Worker) onSubmitJob(m core.SubmitJob) {
 	job, ok := w.reg.Lookup(m.Job)
 	if !ok {
-		log.Printf("engine: worker %s: unknown job %q", w.id, m.Job)
+		w.log.Warn("unknown job submitted", "job", m.Job)
 		return
 	}
 	w.mu.Lock()
@@ -300,7 +318,11 @@ func (w *Worker) onTakeCheckpoint(m core.TakeCheckpoint) {
 		if key.Job != m.Job {
 			continue
 		}
+		span := w.cfg.Tracer.Begin("checkpoint.capture", 0)
+		span.SetNode(string(w.id))
+		span.SetTask(int64(m.UpTo), key.Stage, key.Partition, 0)
 		snap, ok := w.states.Snapshot(key, m.UpTo)
+		span.End()
 		if !ok {
 			continue // partition lags; driver's replay covers it
 		}
@@ -321,7 +343,7 @@ func (w *Worker) onRestoreState(m core.RestoreState) {
 		var err error
 		snap, err = checkpoint.DecodeSnapshot(key, m.State)
 		if err != nil {
-			log.Printf("engine: worker %s: corrupt restore for %v: %v", w.id, key, err)
+			w.log.Warn("corrupt restore", "stage", key.Stage, "part", key.Partition, "err", err)
 			return
 		}
 	} else {
@@ -362,19 +384,44 @@ var (
 // Attempts killed by first-result-wins commit are dropped silently: before
 // execution if the kill already landed, or by suppressing the status report
 // if it landed while the loser was running.
+//
+// When the task's group was sampled (TraceSpan != 0), the worker records
+// the task's lifecycle: a task span parented under the driver's scheduling
+// span, with pre-schedule (ready → start, the time pre-scheduling hides),
+// fetch, and execute children. The task span's ID travels back on the
+// status report so the driver's commit span completes the chain.
 func (w *Worker) runTask(rt core.RunnableTask) {
 	ta := core.TaskAttempt{ID: rt.Desc.ID, Attempt: rt.Desc.Attempt}
 	if w.takeKill(ta) {
 		w.killedCnt.Inc()
 		return
 	}
+	var tr *trace.Tracer
+	if rt.Desc.TraceSpan != 0 {
+		tr = w.cfg.Tracer
+	}
+	id := rt.Desc.ID
+	tspan := tr.BeginAt("task", trace.SpanID(rt.Desc.TraceSpan), rt.ReadyAt)
+	tspan.SetNode(string(w.id))
+	tspan.SetTask(int64(id.Batch), id.Stage, id.Partition, rt.Desc.Attempt)
+	pspan := tr.BeginAt("task.preschedule", tspan.ID(), rt.ReadyAt)
+	pspan.SetNode(string(w.id))
+	pspan.SetTask(int64(id.Batch), id.Stage, id.Partition, rt.Desc.Attempt)
+	pspan.End()
 	queued := time.Since(rt.ReadyAt)
 	start := time.Now()
-	sizes, err := w.execute(rt)
+	sizes, err := w.execute(rt, tr, tspan.ID())
 	w.applySlowdown(start)
 	if w.takeKill(ta) {
 		w.killedCnt.Inc()
 		return
+	}
+	if err == nil {
+		w.mTasksOK.Inc()
+	} else {
+		w.mTasksFailed.Inc()
+		w.log.Info("task failed", "batch", int64(id.Batch), "stage", id.Stage,
+			"part", id.Partition, "attempt", rt.Desc.Attempt, "err", err)
 	}
 	status := core.TaskStatus{
 		ID:          rt.Desc.ID,
@@ -384,6 +431,7 @@ func (w *Worker) runTask(rt core.RunnableTask) {
 		OutputSizes: sizes,
 		RunNanos:    int64(time.Since(start)),
 		QueueNanos:  int64(queued),
+		TraceSpan:   uint64(tspan.End()),
 	}
 	if err != nil {
 		status.Err = err.Error()
@@ -419,7 +467,7 @@ func (w *Worker) applySlowdown(start time.Time) {
 	}
 }
 
-func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {
+func (w *Worker) execute(rt core.RunnableTask, tr *trace.Tracer, parent trace.SpanID) ([]int64, error) {
 	w.mu.Lock()
 	ji := w.jobs[rt.Desc.Job]
 	placement := w.placement
@@ -454,18 +502,30 @@ func (w *Worker) execute(rt core.RunnableTask) ([]int64, error) {
 			End:       ji.closeNanos(id.Batch),
 		})
 	} else {
+		// task.fetch covers dependency gathering — local reads plus the
+		// pipelined remote fetches — i.e. the shuffle block wait.
+		fspan := tr.Begin("task.fetch", parent)
+		fspan.SetNode(string(w.id))
+		fspan.SetTask(int64(id.Batch), id.Stage, id.Partition, rt.Desc.Attempt)
 		var err error
 		recs, err = w.gatherInputs(rt)
+		fspan.End()
 		if err != nil {
 			return nil, err
 		}
 	}
+	espan := tr.Begin("task.execute", parent)
+	espan.SetNode(string(w.id))
+	espan.SetTask(int64(id.Batch), id.Stage, id.Partition, rt.Desc.Attempt)
 	recs = stage.ApplyOps(recs)
 
 	if stage.Shuffle != nil {
-		return w.writeShuffleOutput(ji, stage, id, recs, rt.Desc.NotifyDownstream, placement)
+		sizes, err := w.writeShuffleOutput(ji, stage, id, recs, rt.Desc.NotifyDownstream, placement)
+		espan.End()
+		return sizes, err
 	}
 	w.runTerminal(ji, stage, id, recs)
+	espan.End()
 	return nil, nil
 }
 

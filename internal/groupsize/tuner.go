@@ -75,6 +75,10 @@ type Tuner struct {
 	group int
 	ewma  *metrics.EWMA
 	hist  []Decision
+
+	gGroup    *metrics.Gauge
+	gOverhead *metrics.Gauge
+	cShrinks  *metrics.Counter
 }
 
 // Decision records one tuner step, for the tuning-convergence experiment.
@@ -93,7 +97,20 @@ func New(cfg Config, initialGroup int) (*Tuner, error) {
 	}
 	t := &Tuner{cfg: cfg, group: clamp(initialGroup, cfg.MinGroup, cfg.MaxGroup)}
 	t.ewma = metrics.NewEWMA(cfg.Alpha)
+	t.InstrumentMetrics(nil)
 	return t, nil
+}
+
+// InstrumentMetrics points the tuner's gauges (drizzle_tuner_group_size,
+// drizzle_tuner_overhead) and forced-shrink counter
+// (drizzle_tuner_forced_shrinks_total) at reg. Like the tuner itself, not
+// safe for concurrent use with Update/Shrink; a nil registry keeps the
+// instruments live but unexported.
+func (t *Tuner) InstrumentMetrics(reg *metrics.Registry) {
+	t.gGroup = reg.Gauge("drizzle_tuner_group_size")
+	t.gOverhead = reg.Gauge("drizzle_tuner_overhead")
+	t.cShrinks = reg.Counter("drizzle_tuner_forced_shrinks_total")
+	t.gGroup.Set(float64(t.group))
 }
 
 // Group returns the current group size.
@@ -117,6 +134,8 @@ func (t *Tuner) Update(coord, exec time.Duration) int {
 		t.group = clamp(t.group-t.cfg.AddDecrease, t.cfg.MinGroup, t.cfg.MaxGroup)
 	}
 	t.hist = append(t.hist, Decision{Overhead: overhead, Group: t.group})
+	t.gGroup.Set(float64(t.group))
+	t.gOverhead.Set(overhead)
 	return t.group
 }
 
@@ -131,6 +150,8 @@ func (t *Tuner) Update(coord, exec time.Duration) int {
 func (t *Tuner) Shrink() int {
 	t.group = t.cfg.MinGroup
 	t.hist = append(t.hist, Decision{Overhead: t.ewma.Value(), Group: t.group, Forced: true})
+	t.gGroup.Set(float64(t.group))
+	t.cShrinks.Inc()
 	return t.group
 }
 

@@ -9,13 +9,13 @@ package jobs
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
 	"drizzle/internal/dag"
 	"drizzle/internal/data"
 	"drizzle/internal/engine"
+	"drizzle/internal/obs"
 	"drizzle/internal/streaming"
 	"drizzle/internal/workload"
 )
@@ -56,8 +56,9 @@ func registerYahooDemo(reg *engine.Registry) error {
 			total += r.Val
 		}
 		name, _ := y.CampaignName(out[0].Key)
-		log.Printf("jobs: %s window=%d partition=%d campaigns=%d views=%d (e.g. %s=%d)",
-			YahooDemo, out[0].Time, partition, len(out), total, name, out[0].Val)
+		obs.Component(nil, "jobs").Info("window totals",
+			"job", YahooDemo, "window", out[0].Time, "partition", partition,
+			"campaigns", len(out), "views", total, "top_campaign", name, "top_views", out[0].Val)
 	}
 
 	ctx := streaming.NewContext(YahooDemo, 100*time.Millisecond)
@@ -95,10 +96,11 @@ func registerWordCountDemo(reg *engine.Registry) error {
 	ctx.Source(4, src).
 		CountByKeyAndWindow(time.Second, 2, streaming.Combine).
 		Sink(func(batch int64, partition int, out []data.Record) {
+			log := obs.Component(nil, "jobs")
 			for _, r := range out {
 				for i, k := range keys {
 					if k == r.Key {
-						log.Printf("jobs: %s window=%d %s=%d", WordCountDemo, r.Time, words[i], r.Val)
+						log.Info("word count", "job", WordCountDemo, "window", r.Time, "word", words[i], "count", r.Val)
 					}
 				}
 			}

@@ -69,6 +69,18 @@ func (s *Stopwatch) Total(phase string) time.Duration {
 	return s.total[phase]
 }
 
+// Snapshot returns a copy of all phase totals, so callers can enumerate
+// phases without reaching into the stopwatch's internals.
+func (s *Stopwatch) Snapshot() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.total))
+	for k, v := range s.total {
+		out[k] = v
+	}
+	return out
+}
+
 // Reset zeroes all phases.
 func (s *Stopwatch) Reset() {
 	s.mu.Lock()

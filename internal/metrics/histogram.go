@@ -62,26 +62,37 @@ func (h *Histogram) ensureSortedLocked() {
 	}
 }
 
-// Quantile returns the q-quantile (q in [0,1]) in milliseconds, or 0 if the
-// histogram is empty. It uses the nearest-rank method.
+// Quantile returns the q-quantile (q in [0,1]) in milliseconds using the
+// nearest-rank method. An empty histogram has no quantiles; by definition
+// Quantile then returns 0, chosen so that report columns and Prometheus
+// series render a neutral value rather than NaN (which JSON cannot encode
+// and plotting tools choke on). Callers that must distinguish "empty" from
+// "all samples were 0ms" use QuantileOK.
 func (h *Histogram) Quantile(q float64) float64 {
+	v, _ := h.QuantileOK(q)
+	return v
+}
+
+// QuantileOK is Quantile with an explicit emptiness report: ok is false —
+// and the value 0 — when the histogram has no samples.
+func (h *Histogram) QuantileOK(q float64) (v float64, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
-		return 0
+		return 0, false
 	}
 	h.ensureSortedLocked()
 	if q <= 0 {
-		return h.samples[0]
+		return h.samples[0], true
 	}
 	if q >= 1 {
-		return h.samples[len(h.samples)-1]
+		return h.samples[len(h.samples)-1], true
 	}
 	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return h.samples[idx]
+	return h.samples[idx], true
 }
 
 // Mean returns the arithmetic mean in milliseconds, or 0 if empty.
@@ -91,11 +102,22 @@ func (h *Histogram) Mean() float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
+	return h.sumLocked() / float64(len(h.samples))
+}
+
+// Sum returns the sum of all samples in milliseconds (0 if empty).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sumLocked()
+}
+
+func (h *Histogram) sumLocked() float64 {
 	sum := 0.0
 	for _, s := range h.samples {
 		sum += s
 	}
-	return sum / float64(len(h.samples))
+	return sum
 }
 
 // Max returns the largest sample in milliseconds, or 0 if empty.

@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named, labeled collection of counters, gauges and
+// histograms. It is the single sink for runtime telemetry: the engine,
+// transports, shuffle layer and tuner all register their series here, and
+// the obs HTTP endpoints render it as Prometheus text or JSON.
+//
+// Series are identified by a canonical key — name{k="v",...} with label
+// keys sorted — built by Key. Lookup interns the instrument, so two
+// callers asking for the same key share one counter. All methods are safe
+// for concurrent use, and safe on a nil *Registry: they hand back a live
+// but unregistered instrument, which lets instrumentation sites run
+// unconditionally whether or not the process wired up a registry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Key builds the canonical series key from a metric name and alternating
+// label key/value pairs: Key("x_total", "worker", "w1") → x_total{worker="w1"}.
+// Label keys are sorted so the key is independent of argument order. An
+// odd trailing label key is ignored.
+func Key(name string, labels ...string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitKey separates a canonical key into the metric family name and the
+// brace-enclosed label body ("" when unlabeled).
+func splitKey(key string) (family, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// Counter returns (registering on first use) the counter for name+labels.
+// Callers on hot paths should look the counter up once and keep the
+// pointer; Key building allocates.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[k]; g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram for
+// name+labels.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return NewHistogram()
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = NewHistogram()
+		r.hists[k] = h
+	}
+	return h
+}
+
+// HistogramStats summarizes one histogram for snapshots and JSON output.
+type HistogramStats struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every registered series, keyed by
+// canonical series key.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramStats),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = HistogramStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		}
+	}
+	return s
+}
+
+// Delta returns the change from prev to s, for measuring one run against a
+// long-lived registry. Counters and histogram count/sum are subtracted
+// (series absent from prev are taken whole; series that vanished are
+// dropped). Gauges and histogram quantiles are levels, not accumulations,
+// so Delta keeps their current values.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramStats, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		p := prev.Histograms[k]
+		v.Count -= p.Count
+		v.Sum -= p.Sum
+		if v.Count > 0 {
+			v.Mean = v.Sum / float64(v.Count)
+		} else {
+			v.Mean = 0
+		}
+		out.Histograms[k] = v
+	}
+	return out
+}
+
+// CounterValue reads one counter out of a snapshot by name+labels
+// (0 when absent) — convenience for tests and reports.
+func (s Snapshot) CounterValue(name string, labels ...string) int64 {
+	return s.Counters[Key(name, labels...)]
+}
+
+// GaugeValue reads one gauge out of a snapshot (0 when absent).
+func (s Snapshot) GaugeValue(name string, labels ...string) float64 {
+	return s.Gauges[Key(name, labels...)]
+}
+
+// WriteJSON renders the snapshot as indented JSON (the /metricsz body).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters and gauges verbatim, histograms as summaries with
+// quantile labels plus _sum/_count series. Families are sorted so the
+// output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+
+	writeFamilies(&b, s.Counters, "counter", func(b *strings.Builder, key string, v int64) {
+		fmt.Fprintf(b, "%s %d\n", key, v)
+	})
+	writeFamilies(&b, s.Gauges, "gauge", func(b *strings.Builder, key string, v float64) {
+		fmt.Fprintf(b, "%s %s\n", key, formatFloat(v))
+	})
+	writeFamilies(&b, s.Histograms, "summary", func(b *strings.Builder, key string, h HistogramStats) {
+		family, labels := splitKey(key)
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(b, "%s%s %s\n", family, mergeLabels(labels, `quantile="`+q.q+`"`), formatFloat(q.v))
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", family, labels, formatFloat(h.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", family, labels, h.Count)
+	})
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeFamilies emits one # TYPE line per metric family followed by its
+// series in sorted key order.
+func writeFamilies[V any](b *strings.Builder, series map[string]V, typ string, emit func(*strings.Builder, string, V)) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lastFamily := ""
+	for _, k := range keys {
+		family, _ := splitKey(k)
+		if family != lastFamily {
+			fmt.Fprintf(b, "# TYPE %s %s\n", family, typ)
+			lastFamily = family
+		}
+		emit(b, k, series[k])
+	}
+}
+
+// mergeLabels combines an existing brace-enclosed label body with one more
+// label, e.g. ({a="b"}, quantile="0.5") → {a="b",quantile="0.5"}.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,43 @@
+// Package obs is the observability surface of the system: component-scoped
+// structured loggers, and an HTTP server exposing the metrics registry
+// (Prometheus text and JSON), recent trace spans, and pprof. The driver,
+// workers and bench binaries mount it behind their -obs-addr flags.
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds a text-format slog logger writing to w at the given
+// level. All components share one handler so lines interleave with a
+// consistent format; use Component to scope it.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Default is the logger used when a component was not handed one
+// explicitly: stderr at Info, matching the verbosity the old log.Printf
+// call sites had.
+func Default() *slog.Logger {
+	return NewLogger(os.Stderr, slog.LevelInfo)
+}
+
+// Discard returns a logger that drops everything — for tests that exercise
+// failure paths and would otherwise spam the output.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Component scopes a logger to a named component ("driver", "worker",
+// "transport", "chaos", ...). Log lines carry component=<name> so one
+// process's interleaved output can be filtered per layer, and the IDs
+// attached by callers (batch, stage, task, span) correlate lines with
+// trace spans.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		base = Default()
+	}
+	return base.With("component", name)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"drizzle/internal/metrics"
+	"drizzle/internal/trace"
+)
+
+// Server serves the observability endpoints for one process:
+//
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/metricsz      the same registry as JSON (snapshot form)
+//	/tracez        most recent trace spans as JSON (?n= limits, newest last)
+//	/debug/pprof/  the standard Go profiler endpoints
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMux builds the endpoint mux without binding a socket, so tests and
+// embedding servers can mount it wherever they like. reg and tr may be nil;
+// the endpoints then serve empty documents.
+func NewMux(reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		spans := tr.Snapshot()
+		if len(spans) > n {
+			spans = spans[len(spans)-n:]
+		}
+		if spans == nil {
+			spans = []trace.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
+// and serves the observability endpoints until Close.
+func Serve(addr string, reg *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg, tr)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

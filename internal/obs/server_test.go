@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"drizzle/internal/metrics"
+	"drizzle/internal/trace"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("drizzle_driver_groups_total").Add(3)
+	tr := trace.New("test", 64)
+	a := tr.Begin("group", 0)
+	a.SetNode("driver")
+	a.End()
+
+	s, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	prom, ctype := get(t, base+"/metrics")
+	if !strings.Contains(prom, "drizzle_driver_groups_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", prom)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	mz, ctype := get(t, base+"/metricsz")
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(mz), &snap); err != nil {
+		t.Fatalf("/metricsz not JSON: %v", err)
+	}
+	if snap.Counters["drizzle_driver_groups_total"] != 3 {
+		t.Errorf("/metricsz counter = %v", snap.Counters)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/metricsz content type = %q", ctype)
+	}
+
+	tz, _ := get(t, base+"/tracez")
+	var spans []trace.Span
+	if err := json.Unmarshal([]byte(tz), &spans); err != nil {
+		t.Fatalf("/tracez not JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "group" {
+		t.Errorf("/tracez spans = %+v", spans)
+	}
+
+	if idx, _ := get(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestTracezLimit(t *testing.T) {
+	tr := trace.New("test", 64)
+	for i := 0; i < 10; i++ {
+		tr.Record(trace.Span{Name: "s", Start: int64(i)})
+	}
+	s, err := Serve("127.0.0.1:0", nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body, _ := get(t, "http://"+s.Addr()+"/tracez?n=3")
+	var spans []trace.Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("?n=3 returned %d spans", len(spans))
+	}
+	// Newest spans survive the cut.
+	if spans[len(spans)-1].Start != 9 {
+		t.Fatalf("expected newest span last, got %+v", spans)
+	}
+}
+
+func TestServerNilSources(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	if body, _ := get(t, base+"/metrics"); body != "" {
+		t.Errorf("/metrics on nil registry = %q", body)
+	}
+	body, _ := get(t, base+"/tracez")
+	var spans []trace.Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil || len(spans) != 0 {
+		t.Errorf("/tracez on nil tracer = %q (err %v)", body, err)
+	}
+}
+
+func TestComponentLogger(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, slog.LevelInfo)
+	Component(base, "driver").Info("group dispatched", "batch", 7, "group", 3)
+	line := buf.String()
+	for _, want := range []string{"component=driver", "batch=7", "group=3", "group dispatched"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+	// Debug is below the default level.
+	buf.Reset()
+	Component(base, "driver").Debug("noise")
+	if buf.Len() != 0 {
+		t.Errorf("debug line leaked: %s", buf.String())
+	}
+	// A nil base must not panic and falls back to the default logger.
+	Component(nil, "worker").Debug("nil base smoke check")
+	if Discard() == nil {
+		t.Fatal("Discard returned nil")
+	}
+}

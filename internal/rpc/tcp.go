@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"drizzle/internal/metrics"
+	"drizzle/internal/obs"
 )
 
 // envelope is the unit framed onto TCP connections.
@@ -61,6 +62,14 @@ type TCPConfig struct {
 	// counted (InboundDropped) and dropped, like the in-memory transport's
 	// injected faults — never blocking the decode loop.
 	InboundQueue int
+
+	// Metrics is the registry the transport counters register into
+	// (drizzle_rpc_*). Nil-safe: without a registry the counters still work
+	// (Stats keeps reporting) but are not exported.
+	Metrics *metrics.Registry
+	// Logger is the structured logger for transport warnings. Nil picks the
+	// default stderr logger, scoped to component=transport.
+	Logger *slog.Logger
 }
 
 // DefaultTCPConfig returns the production defaults.
@@ -143,7 +152,7 @@ type TCPNetwork struct {
 	conns     map[routeKey]*tcpConn
 	closed    bool
 	wg        sync.WaitGroup
-	logf      func(format string, args ...any)
+	log       *slog.Logger
 
 	// Dial bookkeeping, under its own lock so a slow dial never blocks
 	// sends on established routes.
@@ -151,13 +160,13 @@ type TCPNetwork struct {
 	dialing  map[routeKey]*dialCall
 	backoffs map[routeKey]*backoffState
 
-	sent            metrics.Counter
-	sendErrors      metrics.Counter
-	dials           metrics.Counter
-	dialErrors      metrics.Counter
-	dialsSuppressed metrics.Counter
-	inboundDropped  metrics.Counter
-	socketWrites    metrics.Counter
+	sent            *metrics.Counter
+	sendErrors      *metrics.Counter
+	dials           *metrics.Counter
+	dialErrors      *metrics.Counter
+	dialsSuppressed *metrics.Counter
+	inboundDropped  *metrics.Counter
+	socketWrites    *metrics.Counter
 }
 
 type routeKey struct {
@@ -280,14 +289,23 @@ func NewTCPNetwork() *TCPNetwork {
 // NewTCPNetworkWithConfig returns an empty TCP network with the given
 // transport tuning.
 func NewTCPNetworkWithConfig(cfg TCPConfig) *TCPNetwork {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics // nil-safe: hands out live, unexported instruments
 	return &TCPNetwork{
-		cfg:       cfg.withDefaults(),
-		listeners: make(map[NodeID]*tcpListener),
-		addrs:     make(map[NodeID]string),
-		conns:     make(map[routeKey]*tcpConn),
-		dialing:   make(map[routeKey]*dialCall),
-		backoffs:  make(map[routeKey]*backoffState),
-		logf:      log.Printf,
+		cfg:             cfg,
+		listeners:       make(map[NodeID]*tcpListener),
+		addrs:           make(map[NodeID]string),
+		conns:           make(map[routeKey]*tcpConn),
+		dialing:         make(map[routeKey]*dialCall),
+		backoffs:        make(map[routeKey]*backoffState),
+		log:             obs.Component(cfg.Logger, "transport"),
+		sent:            reg.Counter("drizzle_rpc_sent_total"),
+		sendErrors:      reg.Counter("drizzle_rpc_send_errors_total"),
+		dials:           reg.Counter("drizzle_rpc_dials_total"),
+		dialErrors:      reg.Counter("drizzle_rpc_dial_errors_total"),
+		dialsSuppressed: reg.Counter("drizzle_rpc_dials_suppressed_total"),
+		inboundDropped:  reg.Counter("drizzle_rpc_inbound_dropped_total"),
+		socketWrites:    reg.Counter("drizzle_rpc_socket_writes_total"),
 	}
 }
 
@@ -423,7 +441,7 @@ func (n *TCPNetwork) serveConn(tl *tcpListener, c net.Conn) {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			if !errors.Is(err, io.EOF) && !isConnClosed(err) {
-				n.logf("rpc: decode from %s: %v", c.RemoteAddr(), err)
+				n.log.Warn("decode error", "remote", c.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
@@ -433,7 +451,8 @@ func (n *TCPNetwork) serveConn(tl *tcpListener, c net.Conn) {
 			n.inboundDropped.Inc()
 			if !warned {
 				warned = true
-				n.logf("rpc: inbound queue full for %s (cap %d), shedding messages", c.RemoteAddr(), n.cfg.InboundQueue)
+				n.log.Warn("inbound queue full, shedding messages",
+					"remote", c.RemoteAddr().String(), "cap", n.cfg.InboundQueue)
 			}
 		}
 	}
@@ -575,7 +594,7 @@ func (n *TCPNetwork) dial(key routeKey, addr string) (*tcpConn, error) {
 		n.dialErrors.Inc()
 		return nil, fmt.Errorf("rpc: dial %s (%s): %w", key.to, addr, err)
 	}
-	conn := newTCPConn(c, n.cfg.WriteBuffer, &n.socketWrites)
+	conn := newTCPConn(c, n.cfg.WriteBuffer, n.socketWrites)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()

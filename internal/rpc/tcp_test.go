@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"drizzle/internal/obs"
 )
 
 // padMsg is a payload big enough to wedge socket buffers quickly.
@@ -44,7 +46,7 @@ func TestTCPStalledPeerDoesNotBlockOthers(t *testing.T) {
 	cfg.WriteTimeout = 300 * time.Millisecond
 	n := NewTCPNetworkWithConfig(cfg)
 	defer n.Close()
-	n.logf = func(string, ...any) {}
+	n.log = obs.Discard()
 
 	// The stalled peer: accepts connections, reads nothing, ever.
 	stall, err := net.Listen("tcp", "127.0.0.1:0")
@@ -221,7 +223,7 @@ func TestTCPConcurrentFirstSendSingleflight(t *testing.T) {
 func TestTCPUnregisterSeversConnections(t *testing.T) {
 	n := NewTCPNetwork()
 	defer n.Close()
-	n.logf = func(string, ...any) {}
+	n.log = obs.Discard()
 
 	oldBox := make(chan int, 64)
 	if _, err := n.Listen("b", "127.0.0.1:0", func(_ NodeID, msg any) {
@@ -287,10 +289,10 @@ func TestTCPPeerKilledMidStream(t *testing.T) {
 	cfg.WriteTimeout = 500 * time.Millisecond
 	client := NewTCPNetworkWithConfig(cfg)
 	defer client.Close()
-	client.logf = func(string, ...any) {}
+	client.log = obs.Discard()
 
 	server := NewTCPNetwork()
-	server.logf = func(string, ...any) {}
+	server.log = obs.Discard()
 	addr, err := server.Listen("server", "127.0.0.1:0", func(NodeID, any) {
 		time.Sleep(time.Millisecond) // a mildly slow consumer
 	})
@@ -325,7 +327,7 @@ func TestTCPPeerKilledMidStream(t *testing.T) {
 func TestTCPListenerClosedDuringDecode(t *testing.T) {
 	n := NewTCPNetwork()
 	defer n.Close()
-	n.logf = func(string, ...any) {}
+	n.log = obs.Discard()
 	if _, err := n.Listen("sink", "127.0.0.1:0", func(NodeID, any) {}); err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +362,7 @@ func TestTCPListenerClosedDuringDecode(t *testing.T) {
 // post-close sends report ErrClosed.
 func TestTCPConcurrentSendClose(t *testing.T) {
 	n := NewTCPNetwork()
-	n.logf = func(string, ...any) {}
+	n.log = obs.Discard()
 	if _, err := n.Listen("server", "127.0.0.1:0", func(NodeID, any) {}); err != nil {
 		t.Fatal(err)
 	}

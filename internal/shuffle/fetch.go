@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"drizzle/internal/metrics"
 	"drizzle/internal/rpc"
 )
 
@@ -89,11 +90,30 @@ type Fetcher struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan FetchResponse
+
+	cFetches  *metrics.Counter
+	cTimeouts *metrics.Counter
+	cErrors   *metrics.Counter
+	cBytes    *metrics.Counter
 }
 
 // NewFetcher returns a Fetcher identifying itself as self.
 func NewFetcher(self rpc.NodeID, send SendFunc) *Fetcher {
-	return &Fetcher{self: self, send: send, pending: make(map[uint64]chan FetchResponse)}
+	f := &Fetcher{self: self, send: send, pending: make(map[uint64]chan FetchResponse)}
+	f.InstrumentMetrics(nil)
+	return f
+}
+
+// InstrumentMetrics points the fetcher's counters
+// (drizzle_worker_shuffle_fetch_*, labeled by worker) at reg. Call before
+// the fetcher is shared between goroutines; a nil registry keeps the
+// counters live but unexported.
+func (f *Fetcher) InstrumentMetrics(reg *metrics.Registry) {
+	w := string(f.self)
+	f.cFetches = reg.Counter("drizzle_worker_shuffle_fetches_total", "worker", w)
+	f.cTimeouts = reg.Counter("drizzle_worker_shuffle_fetch_timeouts_total", "worker", w)
+	f.cErrors = reg.Counter("drizzle_worker_shuffle_fetch_errors_total", "worker", w)
+	f.cBytes = reg.Counter("drizzle_worker_shuffle_fetch_bytes_total", "worker", w)
 }
 
 // HandleResponse routes a response to its waiting Fetch call. Late
@@ -121,9 +141,11 @@ func (f *Fetcher) Fetch(holder rpc.NodeID, blocks []BlockID, timeout time.Durati
 	f.pending[id] = ch
 	f.mu.Unlock()
 
+	f.cFetches.Inc()
 	req := FetchRequest{ID: id, From: f.self, Blocks: blocks}
 	if err := f.send(holder, req); err != nil {
 		f.abandon(id)
+		f.cErrors.Inc()
 		return nil, fmt.Errorf("shuffle: fetch from %s: %w", holder, err)
 	}
 	// A stopped timer, not time.After: this is the shuffle hot path, and
@@ -133,11 +155,18 @@ func (f *Fetcher) Fetch(holder rpc.NodeID, blocks []BlockID, timeout time.Durati
 	select {
 	case resp := <-ch:
 		if len(resp.Missing) > 0 {
+			f.cErrors.Inc()
 			return nil, fmt.Errorf("shuffle: %s missing %d block(s), first %+v", holder, len(resp.Missing), resp.Missing[0])
 		}
+		var bytes int64
+		for _, b := range resp.Blocks {
+			bytes += int64(len(b.Data))
+		}
+		f.cBytes.Add(bytes)
 		return resp.Blocks, nil
 	case <-timer.C:
 		f.abandon(id)
+		f.cTimeouts.Inc()
 		return nil, fmt.Errorf("shuffle: fetch from %s timed out after %v", holder, timeout)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"drizzle/internal/data"
+	"drizzle/internal/metrics"
 )
 
 // BlockID names one map-output block: the records map task MapPartition of
@@ -33,11 +34,31 @@ type Store struct {
 	mu     sync.RWMutex
 	blocks map[BlockID][]byte
 	bytes  int64
+
+	gBlocks *metrics.Gauge
+	gBytes  *metrics.Gauge
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{blocks: make(map[BlockID][]byte)}
+	s := &Store{blocks: make(map[BlockID][]byte)}
+	s.InstrumentMetrics(nil, "")
+	return s
+}
+
+// InstrumentMetrics points the store's occupancy gauges
+// (drizzle_worker_shuffle_blocks / _bytes, labeled by worker) at reg. Call
+// before the store is shared between goroutines; a nil registry keeps the
+// gauges live but unexported.
+func (s *Store) InstrumentMetrics(reg *metrics.Registry, worker string) {
+	s.gBlocks = reg.Gauge("drizzle_worker_shuffle_blocks", "worker", worker)
+	s.gBytes = reg.Gauge("drizzle_worker_shuffle_bytes", "worker", worker)
+}
+
+// gaugesLocked refreshes the occupancy gauges; callers hold mu.
+func (s *Store) gaugesLocked() {
+	s.gBlocks.Set(float64(len(s.blocks)))
+	s.gBytes.Set(float64(s.bytes))
 }
 
 // Put encodes recs and stores them under id, returning the encoded size.
@@ -56,6 +77,7 @@ func (s *Store) PutRaw(id BlockID, b []byte) {
 	}
 	s.blocks[id] = b
 	s.bytes += int64(len(b))
+	s.gaugesLocked()
 	s.mu.Unlock()
 }
 
@@ -94,6 +116,7 @@ func (s *Store) PurgeBefore(batch int64) int64 {
 		}
 	}
 	s.bytes -= freed
+	s.gaugesLocked()
 	s.mu.Unlock()
 	return freed
 }
@@ -110,6 +133,7 @@ func (s *Store) PurgeJob(job string) int64 {
 		}
 	}
 	s.bytes -= freed
+	s.gaugesLocked()
 	s.mu.Unlock()
 	return freed
 }

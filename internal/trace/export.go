@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes one span per line as JSON, oldest first. The format is
+// grep- and jq-friendly; for a visual timeline use WriteChromeTrace.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses spans written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ChromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata), the subset Perfetto and chrome://tracing load.
+// Timestamps and durations are microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace_event JSON object.
+// Each node becomes a "process" (with a process_name metadata event), and
+// spans on a node are spread across "threads" keyed by stage/partition so
+// concurrently running tasks appear as parallel tracks. Span timestamps
+// are rebased to the earliest span, which keeps the numbers small and the
+// output stable for golden-file comparison.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ct := BuildChromeTrace(spans)
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// BuildChromeTrace converts spans to the trace_event object without
+// serializing, for tests and custom writers.
+func BuildChromeTrace(spans []Span) *ChromeTrace {
+	ct := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	if len(spans) == 0 {
+		return ct
+	}
+	nodes := make(map[string]int)
+	var names []string
+	for i := range spans {
+		if _, ok := nodes[spans[i].Node]; !ok {
+			nodes[spans[i].Node] = 0
+			names = append(names, spans[i].Node)
+		}
+	}
+	sort.Strings(names)
+	base := spans[0].Start
+	for i := range spans {
+		if spans[i].Start < base {
+			base = spans[i].Start
+		}
+	}
+	for i, n := range names {
+		pid := i + 1
+		nodes[n] = pid
+		label := n
+		if label == "" {
+			label = "unknown"
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for i := range spans {
+		s := &spans[i]
+		args := map[string]any{
+			"span":   fmt.Sprintf("%#x", uint64(s.ID)),
+			"parent": fmt.Sprintf("%#x", uint64(s.Parent)),
+		}
+		if s.Batch != 0 || s.Stage != 0 || s.Part != 0 {
+			args["batch"] = s.Batch
+			args["stage"] = s.Stage
+			args["part"] = s.Part
+			args["attempt"] = s.Attempt
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   (s.Start - base) / 1e3,
+			Dur:  maxI64(s.Dur/1e3, 1),
+			Pid:  nodes[s.Node],
+			// Separate track per stage/partition; driver-level spans
+			// (no task coordinates) share track 0.
+			Tid:  s.Stage*100 + s.Part,
+			Args: args,
+		})
+	}
+	return ct
+}
+
+// ReadChromeTrace parses a trace_event JSON object (round-trip validation
+// for exports).
+func ReadChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var ct ChromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, err
+	}
+	return &ct, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

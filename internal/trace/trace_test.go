@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Sampled(7) != nil {
+		t.Fatal("nil tracer should stay nil through Sampled")
+	}
+	if id := tr.NextID(); id != 0 {
+		t.Fatalf("NextID on nil tracer = %d, want 0", id)
+	}
+	a := tr.Begin("x", 0)
+	a.SetNode("n")
+	a.SetTask(1, 2, 3, 4)
+	if id := a.End(); id != 0 {
+		t.Fatalf("End on inert span = %d, want 0", id)
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("Snapshot on nil tracer = %v, want nil", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Len on nil tracer != 0")
+	}
+	tr.SetSampleEvery(10) // must not panic
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	tr := New("test", 16)
+	parent := tr.Begin("group", 0)
+	parent.SetNode("driver")
+	child := tr.Begin("group.schedule", parent.ID())
+	child.SetNode("driver")
+	child.SetTask(3, 1, 2, 0)
+	if id := child.End(); id == 0 {
+		t.Fatal("End returned 0 for live span")
+	}
+	parent.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	g, ok := byName["group"]
+	if !ok {
+		t.Fatal("missing group span")
+	}
+	c := byName["group.schedule"]
+	if c.Parent != g.ID {
+		t.Fatalf("child parent = %d, want %d", c.Parent, g.ID)
+	}
+	if c.Batch != 3 || c.Stage != 1 || c.Part != 2 {
+		t.Fatalf("task coordinates not recorded: %+v", c)
+	}
+	if g.Node != "driver" {
+		t.Fatalf("node not recorded: %+v", g)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New("test", 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: fmt.Sprintf("s%d", i), Start: int64(i)})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring of 4 holds %d spans", len(spans))
+	}
+	// Oldest surviving span is s6 (s0..s5 overwritten).
+	if spans[0].Name != "s6" {
+		t.Fatalf("oldest surviving span = %s, want s6", spans[0].Name)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New("test", 16)
+	tr.SetSampleEvery(4)
+	recorded := 0
+	for seq := int64(0); seq < 16; seq++ {
+		if s := tr.Sampled(seq); s != nil {
+			recorded++
+		}
+	}
+	if recorded != 4 {
+		t.Fatalf("sampled %d of 16 groups at 1/4, want 4", recorded)
+	}
+	tr.SetSampleEvery(1)
+	if tr.Sampled(3) == nil {
+		t.Fatal("sample-every 1 must keep all groups")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New("test", 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := tr.Begin("work", 0)
+				a.SetNode(fmt.Sprintf("w%d", g))
+				a.End()
+				if i%10 == 0 {
+					tr.Snapshot() // readers race writers deliberately
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 256 {
+		t.Fatalf("full ring snapshot has %d spans, want 256", got)
+	}
+}
+
+func TestIDNamespacesDisjoint(t *testing.T) {
+	a, b := New("driver", 8), New("w0", 8)
+	seen := map[SpanID]bool{}
+	for i := 0; i < 100; i++ {
+		for _, id := range []SpanID{a.NextID(), b.NextID()} {
+			if seen[id] {
+				t.Fatalf("duplicate span ID %d across tracers", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Span{
+		{ID: 1, Name: "group", Node: "driver", Start: 1000, Dur: 500},
+		{ID: 2, Parent: 1, Name: "task", Node: "w0", Batch: 7, Stage: 1, Part: 3, Attempt: 1, Start: 1100, Dur: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("span %d mutated: in=%+v out=%+v", i, in[i], out[i])
+		}
+	}
+}
+
+// goldenSpans is a fixed timeline: one driver group with a scheduled task
+// executing on a worker. Timestamps are absolute nanoseconds so the
+// rebased golden output is stable.
+func goldenSpans() []Span {
+	const base = 1_700_000_000_000_000_000
+	return []Span{
+		{ID: 0x10, Name: "group", Node: "driver", Batch: 4, Start: base, Dur: 9_000_000},
+		{ID: 0x11, Parent: 0x10, Name: "group.schedule", Node: "driver", Batch: 4, Start: base + 100_000, Dur: 2_000_000},
+		{ID: 0x20, Parent: 0x11, Name: "task", Node: "w0", Batch: 4, Stage: 1, Part: 0, Attempt: 1, Start: base + 2_500_000, Dur: 5_000_000},
+		{ID: 0x21, Parent: 0x20, Name: "task.execute", Node: "w0", Batch: 4, Stage: 1, Part: 0, Attempt: 1, Start: base + 3_000_000, Dur: 4_000_000},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace export drifted from golden file.\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceRoundTripSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("export is not valid trace_event JSON: %v", err)
+	}
+	// Schema checks mirroring what Perfetto's JSON importer requires:
+	// a traceEvents array whose entries carry name/ph/pid and, for complete
+	// events, ts+dur.
+	var complete, meta int
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "" {
+			t.Fatalf("event without name: %+v", ev)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event with non-positive dur: %+v", ev)
+			}
+			if ev.Ts < 0 {
+				t.Fatalf("negative timestamp: %+v", ev)
+			}
+		case "M":
+			meta++
+			if ev.Args["name"] == nil {
+				t.Fatalf("metadata event without name arg: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != len(goldenSpans()) {
+		t.Fatalf("%d complete events for %d spans", complete, len(goldenSpans()))
+	}
+	if meta != 2 { // driver + w0 process_name entries
+		t.Fatalf("%d metadata events, want 2", meta)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("empty trace produced %d events", len(ct.TraceEvents))
+	}
+}
+
+func TestBeginAtEndAt(t *testing.T) {
+	tr := New("test", 8)
+	start := time.Unix(100, 0)
+	a := tr.BeginAt("task.preschedule", 0, start)
+	a.EndAt(start.Add(250 * time.Millisecond))
+	s := tr.Snapshot()[0]
+	if s.Start != start.UnixNano() {
+		t.Fatalf("start = %d, want %d", s.Start, start.UnixNano())
+	}
+	if s.Dur != int64(250*time.Millisecond) {
+		t.Fatalf("dur = %d, want 250ms", s.Dur)
+	}
+	// Clock skew between BeginAt and EndAt must not produce negative spans.
+	b := tr.BeginAt("skew", 0, start)
+	b.EndAt(start.Add(-time.Second))
+	for _, s := range tr.Snapshot() {
+		if s.Dur < 0 {
+			t.Fatalf("negative duration span: %+v", s)
+		}
+	}
+}
