@@ -53,6 +53,7 @@ func main() {
 		obsAddr  = flag.String("obs-addr", "", "observability HTTP address (/metrics, /metricsz, /tracez, pprof); empty disables")
 		traceOut = flag.String("trace-out", "", "write the run's spans as a Chrome trace (Perfetto-loadable) to this file on exit")
 		sample   = flag.Int("trace-sample", 1, "trace every Nth scheduling group (1 = all, 0 = none)")
+		codec    = flag.String("codec", rpc.DefaultCodec.Name(), "wire codec for outbound connections: binary or gob (receivers auto-detect, so a mixed cluster works)")
 		workers  workerList
 	)
 	flag.Var(&workers, "worker", "worker id=addr (repeatable)")
@@ -104,6 +105,12 @@ func main() {
 
 	tcpCfg := rpc.DefaultTCPConfig()
 	tcpCfg.Metrics = registry
+	wireCodec, err := rpc.CodecByName(*codec)
+	if err != nil {
+		log.Error("bad -codec", "err", err)
+		os.Exit(1)
+	}
+	tcpCfg.Codec = wireCodec
 	net := rpc.NewTCPNetworkWithConfig(tcpCfg)
 	defer net.Close()
 	net.SetListenAddr("driver", *listen)

@@ -12,9 +12,13 @@ import (
 	"drizzle/internal/data"
 	"drizzle/internal/rpc"
 	"drizzle/internal/shuffle"
+	"drizzle/internal/wire"
 )
 
 // wireMsg is the small control-message stand-in for transport benchmarks.
+// It is registered with both codecs — the binary registration (tag 32, the
+// applications/tests range) exercises the public RegisterBinaryMessage API
+// the same way internal/core's messages do.
 type wireMsg struct {
 	Seq int
 	Pad []byte
@@ -31,15 +35,37 @@ type baselineEnvelope struct {
 
 func init() {
 	rpc.RegisterType(wireMsg{})
+	// Pad rides through AppendCompressed with the same 4 KiB threshold the
+	// real bulk fields (checkpoint state, shuffle blocks) use, so the
+	// payload-heavy transport shapes exercise the production byte path.
+	rpc.RegisterBinaryMessage(32, wireMsg{},
+		func(dst []byte, msg any) []byte {
+			m := msg.(wireMsg)
+			dst = wire.AppendVarint(dst, int64(m.Seq))
+			return wire.AppendCompressed(dst, m.Pad, 4<<10)
+		},
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := wireMsg{Seq: r.Int(), Pad: r.Compressed()}
+			return m, r.Done()
+		})
 }
+
+// benchCodecs are the wire codecs every transport benchmark is parameterized
+// over, so one -bench run produces the gob/binary comparison directly.
+var benchCodecs = []rpc.Codec{rpc.Gob, rpc.Binary}
 
 // BenchmarkTCPTransport measures small-message throughput of the TCP
 // transport against an unbuffered baseline that reproduces the prototype
 // transport's write path: one gob.Encoder directly on the socket behind a
-// mutex, one syscall per frame. The buffered variant is the real
-// rpc.TCPNetwork, whose bufio.Writer + group-flush coalesces concurrent
-// small frames. Both sides count at the receiver, so the number includes
-// decode + delivery.
+// mutex, one syscall per frame. The buffered variants are the real
+// rpc.TCPNetwork (bufio.Writer + group-flush), once per codec. Both sides
+// count at the receiver, so the number includes decode + delivery.
+//
+// Every variant sends one warm-up message and waits for its delivery before
+// the timer starts: the connection dial, and for gob the per-connection type
+// dictionary, are setup cost — attributing them to the first timed message
+// used to skew small-b.N runs (see docs/EXPERIMENTS.md).
 //
 // senders raises RunParallel's goroutine count above GOMAXPROCS: in the
 // engine a route is shared by several goroutines (heartbeat loop, task
@@ -84,6 +110,12 @@ func BenchmarkTCPTransport(b *testing.B) {
 		enc := gob.NewEncoder(conn) // unbuffered: every Encode hits the socket
 		var mu sync.Mutex
 		pad := make([]byte, payload)
+		// Warm the connection: the first envelope carries gob's type
+		// dictionary and must not be charged to the measurement.
+		if err := enc.Encode(baselineEnvelope{From: "client", To: "server", Payload: wireMsg{Pad: pad}}); err != nil {
+			b.Fatal(err)
+		}
+		waitCount(b, &delivered, 1)
 		b.SetParallelism(senders)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
@@ -97,37 +129,59 @@ func BenchmarkTCPTransport(b *testing.B) {
 				}
 			}
 		})
-		waitCount(b, &delivered, int64(b.N))
+		waitCount(b, &delivered, int64(b.N)+1)
 	})
 
-	b.Run("buffered", func(b *testing.B) {
-		cfg := rpc.DefaultTCPConfig()
-		// The bench floods one route far faster than the delivery goroutine
-		// is scheduled under full-core send pressure; a deep queue keeps the
-		// shed policy out of the measurement so every message is counted.
-		cfg.InboundQueue = 1 << 21
-		n := rpc.NewTCPNetworkWithConfig(cfg)
-		defer n.Close()
-		var delivered atomic.Int64
-		if _, err := n.Listen("server", "127.0.0.1:0", func(rpc.NodeID, any) {
-			delivered.Add(1)
-		}); err != nil {
-			b.Fatal(err)
-		}
-		pad := make([]byte, payload)
-		b.SetParallelism(senders)
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				if err := n.Send("client", "server", wireMsg{Pad: pad}); err != nil {
-					b.Error(err)
-					return
+	// Two message shapes: the 64 B pad is the control-message regime, where
+	// the transport's fixed costs (locks, group flush, delivery queue)
+	// share the bill with the codec; launch-64-tasks is the payload-heavy
+	// regime — the group-scheduling bundle the driver actually sends, 64
+	// descriptors with deps and location maps, where encoding dominates.
+	shapes := []struct {
+		name string
+		msg  any
+	}{
+		{"pad64B", wireMsg{Pad: make([]byte, payload)}},
+		{"launch-64-tasks", benchLaunchTasks(64)},
+	}
+	for _, shape := range shapes {
+		for _, codec := range benchCodecs {
+			b.Run(fmt.Sprintf("buffered-%s/%s", codec.Name(), shape.name), func(b *testing.B) {
+				cfg := rpc.DefaultTCPConfig()
+				cfg.Codec = codec
+				// The bench floods one route far faster than the delivery goroutine
+				// is scheduled under full-core send pressure; a deep queue keeps the
+				// shed policy out of the measurement so every message is counted.
+				cfg.InboundQueue = 1 << 21
+				n := rpc.NewTCPNetworkWithConfig(cfg)
+				defer n.Close()
+				var delivered atomic.Int64
+				if _, err := n.Listen("server", "127.0.0.1:0", func(rpc.NodeID, any) {
+					delivered.Add(1)
+				}); err != nil {
+					b.Fatal(err)
 				}
-			}
-		})
-		waitCount(b, &delivered, int64(b.N))
-		b.ReportMetric(float64(n.Stats().SocketWrites)/float64(b.N), "writes/op")
-	})
+				// Warm the route: dial + (for gob) the type dictionary happen
+				// here, not on the first timed send.
+				if err := n.Send("client", "server", shape.msg); err != nil {
+					b.Fatal(err)
+				}
+				waitCount(b, &delivered, 1)
+				b.SetParallelism(senders)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := n.Send("client", "server", shape.msg); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				waitCount(b, &delivered, int64(b.N)+1)
+				b.ReportMetric(float64(n.Stats().SocketWrites)/float64(b.N), "writes/op")
+			})
+		}
+	}
 }
 
 func waitCount(b *testing.B, c *atomic.Int64, want int64) {
@@ -141,17 +195,22 @@ func waitCount(b *testing.B, c *atomic.Int64, want int64) {
 	}
 }
 
-// BenchmarkShuffleFetch measures a reduce task's input gathering over real
-// TCP from two holders: sequential per-holder Fetch (the old gatherInputs
-// loop) versus pipelined FetchAll. Each iteration moves 8 blocks of ~16 KB.
-func BenchmarkShuffleFetch(b *testing.B) {
+// fetchBench wires two block holders and a fetcher over one TCP network,
+// returning the fetcher, the per-holder request map, and the total stored
+// bytes per full fetch. The two variants are the full data planes, not just
+// the envelope codec: the gob variant stores row-encoded blocks (the
+// layout the gob-era store wrote), the binary variant stores columnar
+// varint blocks — each codec moves the block bytes its store produces.
+func fetchBench(b *testing.B, codec rpc.Codec) (*shuffle.Fetcher, map[rpc.NodeID][]shuffle.BlockID, int64, func()) {
+	b.Helper()
 	const (
 		holders      = 2
 		blocksPer    = 4
-		recsPerBlock = 500 // ~16 KB encoded
+		recsPerBlock = 2000
 	)
-	n := rpc.NewTCPNetwork()
-	defer n.Close()
+	cfg := rpc.DefaultTCPConfig()
+	cfg.Codec = codec
+	n := rpc.NewTCPNetworkWithConfig(cfg)
 
 	req := make(map[rpc.NodeID][]shuffle.BlockID, holders)
 	var totalBytes int64
@@ -174,7 +233,13 @@ func BenchmarkShuffleFetch(b *testing.B) {
 			for i := range recs {
 				recs[i] = data.Record{Key: uint64(i), Val: int64(i), Time: int64(i)}
 			}
-			totalBytes += int64(store.Put(id, recs))
+			if codec == rpc.Gob {
+				enc := data.EncodeBatch(nil, recs) // row layout, as the gob-era store wrote
+				store.PutRaw(id, enc)
+				totalBytes += int64(len(enc))
+			} else {
+				totalBytes += int64(store.Put(id, recs))
+			}
 			req[holder] = append(req[holder], id)
 		}
 	}
@@ -188,23 +253,40 @@ func BenchmarkShuffleFetch(b *testing.B) {
 	}); err != nil {
 		b.Fatal(err)
 	}
+	return fetcher, req, totalBytes, func() { n.Close() }
+}
 
-	b.Run("sequential", func(b *testing.B) {
-		b.SetBytes(totalBytes)
-		for i := 0; i < b.N; i++ {
-			for holder, blocks := range req {
-				if _, err := fetcher.Fetch(holder, blocks, 10*time.Second); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	b.Run("pipelined", func(b *testing.B) {
-		b.SetBytes(totalBytes)
-		for i := 0; i < b.N; i++ {
+// BenchmarkShuffleFetch measures a reduce task's input gathering over real
+// TCP from two holders, per codec: sequential per-holder Fetch (the old
+// gatherInputs loop) versus pipelined FetchAll. Each iteration moves 8
+// blocks of 2000 records each — a payload-heavy reduce input.
+func BenchmarkShuffleFetch(b *testing.B) {
+	for _, codec := range benchCodecs {
+		b.Run(codec.Name(), func(b *testing.B) {
+			fetcher, req, totalBytes, cleanup := fetchBench(b, codec)
+			defer cleanup()
+			// Warm every route (dial + gob type dictionary) before timing.
 			if _, err := fetcher.FetchAll(req, 10*time.Second); err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
+			b.Run("sequential", func(b *testing.B) {
+				b.SetBytes(totalBytes)
+				for i := 0; i < b.N; i++ {
+					for holder, blocks := range req {
+						if _, err := fetcher.Fetch(holder, blocks, 10*time.Second); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run("pipelined", func(b *testing.B) {
+				b.SetBytes(totalBytes)
+				for i := 0; i < b.N; i++ {
+					if _, err := fetcher.FetchAll(req, 10*time.Second); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }

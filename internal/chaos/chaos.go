@@ -111,6 +111,13 @@ type Scenario struct {
 	Rules []rpc.LinkFault
 	// Events fire in At order on a dedicated goroutine.
 	Events []Event
+
+	// Codec, when set, makes the in-memory network round-trip every message
+	// through it (encode then decode, charging the encoded size as
+	// bandwidth), so a whole chaos run exercises a wire codec end to end.
+	// Nil sends values by reference as before. The CHAOS_CODEC env var and
+	// the codec-equivalence test drive this.
+	Codec rpc.Codec
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -386,6 +393,7 @@ func Run(sc Scenario) *Report {
 		Latency: 200 * time.Microsecond,
 		Jitter:  100 * time.Microsecond,
 		Seed:    sc.Seed,
+		Codec:   sc.Codec,
 	})
 	plan := rpc.NewFaultPlan(sc.Seed)
 	for _, r := range sc.Rules {

@@ -52,6 +52,12 @@ type Dep struct {
 	MapPartition int
 }
 
+// DepLocation pairs a dependency with the worker known to hold its output.
+type DepLocation struct {
+	Dep  Dep
+	Node rpc.NodeID
+}
+
 // TaskDescriptor is everything a worker needs to queue one task. The
 // executing side already holds the job's logical plan (plans are registered
 // by name on every node, the moral equivalent of shipping closures), so the
@@ -74,11 +80,13 @@ type TaskDescriptor struct {
 	// Deps lists the upstream map outputs the task must wait for. Empty
 	// for source tasks.
 	Deps []Dep
-	// KnownLocations pre-populates dependency locations. The BSP mode
-	// fills it completely (the driver barrier collected all locations);
-	// Drizzle recovery uses it to replay completed dependencies to
-	// rescheduled tasks (§3.3).
-	KnownLocations map[Dep]rpc.NodeID
+	// KnownLocations pre-populates dependency locations, in Deps order.
+	// The BSP mode fills it completely (the driver barrier collected all
+	// locations); Drizzle recovery uses it to replay completed
+	// dependencies to rescheduled tasks (§3.3). A slice rather than a map:
+	// the handful of entries per task makes linear Location lookups cheap,
+	// and bundle decoding stays allocation-light and deterministic.
+	KnownLocations []DepLocation
 	// NotifyDownstream, when set, tells the worker to push DataReady
 	// notifications directly to downstream workers on completion
 	// (pre-scheduling). BSP mode leaves it false and routes metadata
@@ -102,4 +110,15 @@ type TaskDescriptor struct {
 	// doubles as the sampling decision: a worker records task spans only
 	// when the field is non-zero.
 	TraceSpan uint64
+}
+
+// Location returns the pre-scheduled holder of d, if the driver knew one.
+// Linear scan: descriptors carry at most a few entries.
+func (t *TaskDescriptor) Location(d Dep) (rpc.NodeID, bool) {
+	for _, l := range t.KnownLocations {
+		if l.Dep == d {
+			return l.Node, true
+		}
+	}
+	return "", false
 }

@@ -279,7 +279,7 @@ func TestLocalSchedulerKnownLocations(t *testing.T) {
 	ls.Add(TaskDescriptor{
 		ID:             TaskID{Batch: 1, Stage: 1},
 		Deps:           []Dep{d},
-		KnownLocations: map[Dep]rpc.NodeID{d: "w5"},
+		KnownLocations: []DepLocation{{Dep: d, Node: "w5"}},
 	})
 	select {
 	case rt := <-ls.Runnable():

@@ -76,7 +76,7 @@ func (ls *LocalScheduler) Add(desc TaskDescriptor) {
 			if _, have := pt.locations[d]; have {
 				continue
 			}
-			loc, ok := desc.KnownLocations[d]
+			loc, ok := desc.Location(d)
 			if !ok {
 				loc, ok = ls.ready[d]
 			}
@@ -94,7 +94,7 @@ func (ls *LocalScheduler) Add(desc TaskDescriptor) {
 		timeOK:    true,
 	}
 	for _, d := range desc.Deps {
-		if loc, ok := desc.KnownLocations[d]; ok {
+		if loc, ok := desc.Location(d); ok {
 			pt.locations[d] = loc
 			continue
 		}

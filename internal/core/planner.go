@@ -113,10 +113,10 @@ func (g *GroupPlanner) PlanStage(p Placement, b BatchID, stage int, group int64,
 			desc.NotBefore = g.BatchCloseNanos(b)
 		}
 		if len(desc.Deps) > 0 {
-			known := make(map[Dep]rpc.NodeID, len(desc.Deps))
+			known := make([]DepLocation, 0, len(desc.Deps))
 			for _, d := range desc.Deps {
 				if loc, ok := locations[d]; ok {
-					known[d] = loc
+					known = append(known, DepLocation{Dep: d, Node: loc})
 				}
 			}
 			desc.KnownLocations = known

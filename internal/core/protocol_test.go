@@ -34,7 +34,7 @@ func TestMessagesSurviveGob(t *testing.T) {
 				ID:               TaskID{Batch: 3, Stage: 1, Partition: 0},
 				NotBefore:        999,
 				Deps:             []Dep{dep},
-				KnownLocations:   map[Dep]rpc.NodeID{dep: "a"},
+				KnownLocations:   []DepLocation{{Dep: dep, Node: "a"}},
 				NotifyDownstream: true,
 				Group:            1,
 			}},

@@ -4,20 +4,58 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"drizzle/internal/snappy"
 )
 
-// Binary layout of an encoded record batch:
+// Two record-batch layouts coexist, distinguished by the first four bytes:
+//
+// Row layout (legacy, fixed-width):
 //
 //	uint32 count
 //	repeated count times:
 //	    uint64 key | int64 val | int64 time | uint32 payloadLen | payload
 //
-// All integers are little-endian. The format is used on the shuffle wire and
-// in checkpoint files, so it must stay stable and be validated on decode.
+// Columnar layout (the shuffle default since the binary data plane): the
+// first four bytes are the sentinel 0xFFFFFFFF — a count the row decoder
+// rejects as implausible, so the two layouts can never be confused — then a
+// format byte (1 = columnar) and the batch packed column-at-a-time:
+//
+//	uvarint count
+//	count x zigzag-varint key delta      (delta from the previous key)
+//	count x zigzag-varint val
+//	count x zigzag-varint time delta     (delta from the previous time)
+//	count x uvarint payload length
+//	payloads, concatenated
+//
+// Delta-varint keys and times shrink sorted combiner output to a byte or
+// two per field, and aggregation records (val 1, no payload) pack to a few
+// bytes instead of the row layout's fixed 28. All fixed-width integers are
+// little-endian. Both layouts appear on the shuffle wire and in checkpoint
+// state, so they must stay stable and be validated on decode.
+//
+// A third envelope, format 2, is a snappy-compressed batch: the sentinel,
+// format byte 2, then the snappy block encoding of a complete format-0 or
+// format-1 batch (nesting another format 2 is rejected). CompressBatch
+// produces it at store time, so compression — like encoding — happens once
+// when a block is written, never on the serving path.
 
 var errCorrupt = errors.New("data: corrupt record batch")
 
-const recordHeaderSize = 8 + 8 + 8 + 4
+const (
+	recordHeaderSize = 8 + 8 + 8 + 4
+
+	// formatSentinel marks a versioned (non-row) batch; the next byte names
+	// the format.
+	formatSentinel   = 0xFFFFFFFF
+	formatColumnar   = 1
+	formatCompressed = 2
+
+	// columnarMinPerRecord is the minimum encoded size of one record in the
+	// columnar layout (one byte per column stream), used to reject
+	// implausible counts before allocating.
+	columnarMinPerRecord = 4
+)
 
 // EncodedSize returns the exact number of bytes EncodeBatch will produce.
 func EncodedSize(recs []Record) int {
@@ -43,11 +81,163 @@ func EncodeBatch(dst []byte, recs []Record) []byte {
 	return dst
 }
 
-// DecodeBatch decodes a record batch produced by EncodeBatch. It returns the
-// records and the number of bytes consumed.
+// EncodeBatchColumnar appends the columnar encoding of recs to dst and
+// returns the extended slice. DecodeBatch understands both layouts.
+func EncodeBatchColumnar(dst []byte, recs []Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, formatSentinel)
+	dst = append(dst, formatColumnar)
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	var prevKey uint64
+	for i := range recs {
+		// Wrapping subtraction: encode and decode apply the same two's-
+		// complement arithmetic, so arbitrary key orders round-trip.
+		dst = binary.AppendVarint(dst, int64(recs[i].Key-prevKey))
+		prevKey = recs[i].Key
+	}
+	for i := range recs {
+		dst = binary.AppendVarint(dst, recs[i].Val)
+	}
+	var prevTime int64
+	for i := range recs {
+		dst = binary.AppendVarint(dst, recs[i].Time-prevTime)
+		prevTime = recs[i].Time
+	}
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(len(recs[i].Payload)))
+	}
+	for i := range recs {
+		dst = append(dst, recs[i].Payload...)
+	}
+	return dst
+}
+
+// CompressBatch wraps an encoded batch (either layout) in the compressed
+// batch format when it is at least threshold bytes and compression actually
+// shrinks it; otherwise b is returned unchanged. A threshold <= 0 disables
+// compression.
+func CompressBatch(b []byte, threshold int) []byte {
+	if threshold <= 0 || len(b) < threshold {
+		return b
+	}
+	enc := make([]byte, 0, 5+len(b)/2)
+	enc = binary.LittleEndian.AppendUint32(enc, formatSentinel)
+	enc = append(enc, formatCompressed)
+	enc = snappy.AppendEncoded(enc, b)
+	if len(enc) >= len(b) {
+		return b
+	}
+	return enc
+}
+
+// decodeColumnar decodes the columnar layout; b starts at the format byte.
+func decodeColumnar(b []byte, off int) ([]Record, int, error) {
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	varint := func() (int64, bool) {
+		v, n := binary.Varint(b[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	c, ok := uvarint()
+	if !ok || c > uint64((len(b)-off)/columnarMinPerRecord) {
+		return nil, 0, fmt.Errorf("%w: implausible columnar count %d for %d bytes", errCorrupt, c, len(b)-off)
+	}
+	count := int(c)
+	recs := make([]Record, count)
+	var prevKey uint64
+	for i := range recs {
+		d, ok := varint()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated key column at record %d", errCorrupt, i)
+		}
+		prevKey += uint64(d)
+		recs[i].Key = prevKey
+	}
+	for i := range recs {
+		v, ok := varint()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated val column at record %d", errCorrupt, i)
+		}
+		recs[i].Val = v
+	}
+	var prevTime int64
+	for i := range recs {
+		d, ok := varint()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated time column at record %d", errCorrupt, i)
+		}
+		prevTime += d
+		recs[i].Time = prevTime
+	}
+	plens := make([]uint64, count)
+	var total uint64
+	for i := range plens {
+		l, ok := uvarint()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated length column at record %d", errCorrupt, i)
+		}
+		if l > uint64(len(b)) {
+			return nil, 0, fmt.Errorf("%w: payload length %d at record %d", errCorrupt, l, i)
+		}
+		plens[i] = l
+		total += l
+		if total > uint64(len(b)-off) {
+			return nil, 0, fmt.Errorf("%w: payloads claim %d of %d remaining bytes", errCorrupt, total, len(b)-off)
+		}
+	}
+	for i := range recs {
+		if l := int(plens[i]); l > 0 {
+			recs[i].Payload = append([]byte(nil), b[off:off+l]...)
+			off += l
+		}
+	}
+	return recs, off, nil
+}
+
+// DecodeBatch decodes a record batch produced by EncodeBatch or
+// EncodeBatchColumnar. It returns the records and the number of bytes
+// consumed.
 func DecodeBatch(b []byte) ([]Record, int, error) {
 	if len(b) < 4 {
 		return nil, 0, fmt.Errorf("%w: short header (%d bytes)", errCorrupt, len(b))
+	}
+	if binary.LittleEndian.Uint32(b) == formatSentinel {
+		if len(b) < 5 {
+			return nil, 0, fmt.Errorf("%w: missing format byte", errCorrupt)
+		}
+		switch b[4] {
+		case formatColumnar:
+			return decodeColumnar(b, 5)
+		case formatCompressed:
+			dec, err := snappy.Decode(b[5:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", errCorrupt, err)
+			}
+			// One decompression per batch: a format-2 body inside a format-2
+			// envelope is rejected, so hostile input cannot chain expansions.
+			if len(dec) >= 5 && binary.LittleEndian.Uint32(dec) == formatSentinel && dec[4] == formatCompressed {
+				return nil, 0, fmt.Errorf("%w: nested compressed batch", errCorrupt)
+			}
+			recs, n, err := DecodeBatch(dec)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n != len(dec) {
+				return nil, 0, fmt.Errorf("%w: %d trailing byte(s) inside compressed batch", errCorrupt, len(dec)-n)
+			}
+			return recs, len(b), nil
+		default:
+			return nil, 0, fmt.Errorf("%w: unknown batch format %d", errCorrupt, b[4])
+		}
 	}
 	count := int(binary.LittleEndian.Uint32(b))
 	off := 4

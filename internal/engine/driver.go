@@ -1093,10 +1093,10 @@ func (d *Driver) resubmit(rs *runState, ids []core.TaskID) {
 			desc.NotBefore = rs.planner.BatchCloseNanos(id.Batch)
 		}
 		if len(desc.Deps) > 0 {
-			known := make(map[core.Dep]rpc.NodeID)
+			known := make([]core.DepLocation, 0, len(desc.Deps))
 			for _, dep := range desc.Deps {
 				if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
-					known[dep] = h
+					known = append(known, core.DepLocation{Dep: dep, Node: h})
 				}
 			}
 			desc.KnownLocations = known
@@ -1221,10 +1221,10 @@ func (d *Driver) launchSpeculative(rs *runState, id core.TaskID, primary, target
 		desc.NotBefore = rs.planner.BatchCloseNanos(id.Batch)
 	}
 	if len(desc.Deps) > 0 {
-		known := make(map[core.Dep]rpc.NodeID)
+		known := make([]core.DepLocation, 0, len(desc.Deps))
 		for _, dep := range desc.Deps {
 			if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) {
-				known[dep] = h
+				known = append(known, core.DepLocation{Dep: dep, Node: h})
 			}
 		}
 		desc.KnownLocations = known

@@ -168,11 +168,11 @@ func TestResubmitRebuildsDescriptors(t *testing.T) {
 	if !rs.relay[mapID] {
 		t.Error("resubmitted shuffle task not marked for driver DataReady relay")
 	}
-	if got := redDesc.KnownLocations[dep(2, 1)]; got != "" {
+	if got, ok := redDesc.Location(dep(2, 1)); ok {
 		t.Errorf("location held by evicted worker leaked into descriptor: %v", got)
 	}
 	for _, m := range []int{0, 2, 3} {
-		if _, ok := redDesc.KnownLocations[dep(2, m)]; !ok {
+		if _, ok := redDesc.Location(dep(2, m)); !ok {
 			t.Errorf("live holder for map %d missing from KnownLocations", m)
 		}
 	}

@@ -1,0 +1,269 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drizzle/internal/wire"
+)
+
+// codecTestMsg is a locally registered binary message exercising the public
+// registration API the way an application package would (tag in the 32+
+// range).
+type codecTestMsg struct {
+	Name string
+	N    int64
+	Blob []byte
+}
+
+const tagCodecTest = 200
+
+func init() {
+	RegisterType(codecTestMsg{})
+	RegisterBinaryMessage(tagCodecTest, codecTestMsg{},
+		func(dst []byte, msg any) []byte {
+			m := msg.(codecTestMsg)
+			dst = wire.AppendString(dst, m.Name)
+			dst = wire.AppendVarint(dst, m.N)
+			return wire.AppendBytes(dst, m.Blob)
+		},
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := codecTestMsg{Name: r.String(), N: r.Varint(), Blob: r.Bytes()}
+			return m, r.Done()
+		})
+}
+
+// fallbackOnlyMsg has no binary registration, so it must travel as tag 0
+// (self-contained gob) under the binary codec.
+type fallbackOnlyMsg struct {
+	Label string
+	Vals  []int
+}
+
+func init() { RegisterType(fallbackOnlyMsg{}) }
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]Codec{"gob": Gob, "binary": Binary} {
+		c, err := CodecByName(name)
+		if err != nil || c != want {
+			t.Errorf("CodecByName(%q) = %v, %v", name, c, err)
+		}
+		if c.Name() != name {
+			t.Errorf("Name() = %q, want %q", c.Name(), name)
+		}
+	}
+	if _, err := CodecByName("protobuf"); err == nil {
+		t.Error("unknown codec name accepted")
+	}
+}
+
+func TestValueFormRoundTrip(t *testing.T) {
+	msgs := []any{
+		codecTestMsg{Name: "registered", N: -42, Blob: []byte{1, 2, 3}},
+		codecTestMsg{}, // zero value: nil Blob must stay nil
+		fallbackOnlyMsg{Label: "via gob fallback", Vals: []int{7, 8}},
+	}
+	for _, c := range []Codec{Gob, Binary} {
+		for _, in := range msgs {
+			b, err := c.EncodeMessage(nil, in)
+			if err != nil {
+				t.Fatalf("%s encode %T: %v", c.Name(), in, err)
+			}
+			out, err := c.DecodeMessage(b)
+			if err != nil {
+				t.Fatalf("%s decode %T: %v", c.Name(), in, err)
+			}
+			if !reflect.DeepEqual(out, in) {
+				t.Errorf("%s round-trip %T: got %+v, want %+v", c.Name(), in, out, in)
+			}
+		}
+	}
+}
+
+func TestBinaryFallbackUsesTagZero(t *testing.T) {
+	b, err := Binary.EncodeMessage(nil, fallbackOnlyMsg{Label: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatalf("unregistered type encoded with tag %d, want 0", b[0])
+	}
+	if b, _ = Binary.EncodeMessage(nil, codecTestMsg{}); b[0] != tagCodecTest {
+		t.Fatalf("registered type encoded with tag %d, want %d", b[0], tagCodecTest)
+	}
+}
+
+func TestBinaryDecodeMessageRejects(t *testing.T) {
+	for name, in := range map[string][]byte{
+		"empty":          {},
+		"unknown tag":    {137, 1, 2, 3},
+		"truncated body": {tagCodecTest, 0x10},
+		"trailing bytes": append(mustEncode(t, codecTestMsg{Name: "x"}), 0xEE),
+	} {
+		if _, err := Binary.DecodeMessage(in); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, msg any) []byte {
+	t.Helper()
+	b, err := Binary.EncodeMessage(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	msgs := []any{
+		codecTestMsg{Name: "first", N: 1},
+		fallbackOnlyMsg{Label: "second"},
+		codecTestMsg{Name: "third", N: 3, Blob: bytes.Repeat([]byte{9}, 10_000)},
+	}
+	for _, c := range []Codec{Gob, Binary} {
+		var buf bytes.Buffer
+		enc := c.NewEncoder(&buf)
+		for i, m := range msgs {
+			if err := enc.Encode(NodeID("alice"), NodeID("bob"), m); err != nil {
+				t.Fatalf("%s encode %d: %v", c.Name(), i, err)
+			}
+		}
+		dec := c.NewDecoder(bufio.NewReader(&buf))
+		for i, want := range msgs {
+			from, _, got, err := dec.Decode()
+			if err != nil {
+				t.Fatalf("%s decode %d: %v", c.Name(), i, err)
+			}
+			if from != "alice" {
+				t.Errorf("%s from = %q", c.Name(), from)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s message %d: got %+v, want %+v", c.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestBinaryStreamStartsWithMagic(t *testing.T) {
+	var buf bytes.Buffer
+	enc := Binary.NewEncoder(&buf)
+	if err := enc.Encode("a", "b", codecTestMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; [4]byte(got) != binaryMagic {
+		t.Fatalf("stream starts %x, want magic %x", got, binaryMagic)
+	}
+	// Gob streams must never begin with the magic's first byte, or the
+	// receive-side peek would misroute them.
+	var gbuf bytes.Buffer
+	if err := Gob.NewEncoder(&gbuf).Encode("a", "b", codecTestMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	if gbuf.Bytes()[0] == binaryMagic[0] {
+		t.Fatalf("gob stream begins with 0x%02x, colliding with the binary magic", gbuf.Bytes()[0])
+	}
+}
+
+func TestBinaryStreamRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write(binary.AppendUvarint(nil, maxFrameLen+1))
+	_, _, _, err := Binary.NewDecoder(bufio.NewReader(&buf)).Decode()
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized frame: %v, want errFrameTooLarge", err)
+	}
+}
+
+func TestBinaryStreamRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("not the binary protocol")
+	if _, _, _, err := Binary.NewDecoder(bufio.NewReader(buf)).Decode(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRegisterBinaryMessagePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	nop := func(dst []byte, msg any) []byte { return dst }
+	dec := func(b []byte) (any, error) { return nil, nil }
+	expectPanic("tag 0", func() { RegisterBinaryMessage(0, struct{ A int }{}, nop, dec) })
+	expectPanic("dup tag", func() { RegisterBinaryMessage(tagCodecTest, struct{ B int }{}, nop, dec) })
+	expectPanic("dup type", func() { RegisterBinaryMessage(201, codecTestMsg{}, nop, dec) })
+}
+
+// TestTCPCodecInterop runs every sender-codec x receiver-default combination
+// over real sockets: the receive side auto-detects the peer's codec from the
+// stream preamble, so a gob sender and a binary sender can share one cluster.
+func TestTCPCodecInterop(t *testing.T) {
+	for _, senderCodec := range []Codec{Gob, Binary} {
+		t.Run("sender="+senderCodec.Name(), func(t *testing.T) {
+			cfg := DefaultTCPConfig()
+			cfg.Codec = senderCodec
+			sender := NewTCPNetworkWithConfig(cfg)
+			defer sender.Close()
+			receiver := NewTCPNetwork() // default config receiver
+			defer receiver.Close()
+
+			var got atomic.Value
+			done := make(chan struct{})
+			addr, err := receiver.Listen("server", "127.0.0.1:0", func(_ NodeID, msg any) {
+				got.Store(msg)
+				close(done)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sender.Announce("server", addr)
+
+			want := codecTestMsg{Name: "interop", N: 77, Blob: []byte("payload")}
+			if err := sender.Send("client", "server", want); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("message not delivered")
+			}
+			if g := got.Load(); !reflect.DeepEqual(g, want) {
+				t.Fatalf("got %+v, want %+v", g, want)
+			}
+		})
+	}
+}
+
+func FuzzDecodeFrameBody(f *testing.F) {
+	// Seed with well-formed frame bodies for both the registered and the
+	// gob-fallback payload paths.
+	for _, msg := range []any{
+		codecTestMsg{Name: "seed", N: 5, Blob: []byte{1, 2}},
+		fallbackOnlyMsg{Label: "seed"},
+	} {
+		body := wire.AppendString(nil, "from-node")
+		body = wire.AppendString(body, "to-node")
+		body, err := Binary.EncodeMessage(body, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// The transport's contract for untrusted socket bytes: an error or a
+		// decoded envelope, never a panic, with allocation bounded by len(body).
+		_, _, _, _ = decodeBinaryFrameBody(body)
+	})
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -24,6 +25,14 @@ type InMemConfig struct {
 	// Seed seeds the jitter source; 0 means a fixed default seed so runs
 	// are reproducible.
 	Seed int64
+	// Codec, when set, round-trips every message through the codec's value
+	// encoding before delivery: the handler receives Decode(Encode(msg))
+	// instead of the sender's value. The in-process transport normally
+	// passes pointers untouched; with a codec installed it exercises the
+	// exact serialization the TCP transport would, which is how the chaos
+	// harness machine-checks codec equivalence under faults (CHAOS_CODEC).
+	// Encoded size also replaces the Sizer estimate for bandwidth charging.
+	Codec Codec
 }
 
 // EC2LikeConfig returns the configuration used by the end-to-end streaming
@@ -190,6 +199,19 @@ func (n *InMemNetwork) Unregister(id NodeID) {
 
 // Send implements Network.
 func (n *InMemNetwork) Send(from, to NodeID, msg any) error {
+	wireBytes := -1
+	if c := n.cfg.Codec; c != nil {
+		b, err := c.EncodeMessage(nil, msg)
+		if err != nil {
+			return fmt.Errorf("rpc: %s encode %T: %w", c.Name(), msg, err)
+		}
+		decoded, err := c.DecodeMessage(b)
+		if err != nil {
+			return fmt.Errorf("rpc: %s decode %T: %w", c.Name(), msg, err)
+		}
+		msg = decoded
+		wireBytes = len(b)
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -209,7 +231,10 @@ func (n *InMemNetwork) Send(from, to NodeID, msg any) error {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
 	if n.cfg.BytesPerSec > 0 {
-		size := wireSize(msg)
+		size := wireBytes
+		if size < 0 {
+			size = wireSize(msg)
+		}
 		delay += time.Duration(int64(size) * int64(time.Second) / n.cfg.BytesPerSec)
 	}
 	plan := n.fault

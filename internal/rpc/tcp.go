@@ -62,6 +62,12 @@ type TCPConfig struct {
 	// counted (InboundDropped) and dropped, like the in-memory transport's
 	// injected faults — never blocking the decode loop.
 	InboundQueue int
+	// Codec is the wire codec used for *outbound* connections (nil means
+	// DefaultCodec, the binary codec). Inbound connections auto-detect the
+	// peer's codec from its stream preamble, so nodes configured with
+	// different codecs still interoperate — which is what lets a cluster be
+	// flipped between gob and binary one process at a time.
+	Codec Codec
 
 	// Metrics is the registry the transport counters register into
 	// (drizzle_rpc_*). Nil-safe: without a registry the counters still work
@@ -107,6 +113,9 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.InboundQueue <= 0 {
 		c.InboundQueue = d.InboundQueue
+	}
+	if c.Codec == nil {
+		c.Codec = DefaultCodec
 	}
 	return c
 }
@@ -241,7 +250,7 @@ type tcpConn struct {
 	mu      sync.Mutex
 	c       net.Conn
 	bw      *bufio.Writer
-	enc     *gob.Encoder
+	enc     EnvelopeEncoder
 	waiters atomic.Int32
 	closed  atomic.Bool
 	// deadline is the currently armed write deadline. Re-arming the kernel
@@ -264,9 +273,9 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 	return cw.w.Write(p)
 }
 
-func newTCPConn(c net.Conn, bufSize int, writes *metrics.Counter) *tcpConn {
+func newTCPConn(c net.Conn, bufSize int, codec Codec, writes *metrics.Counter) *tcpConn {
 	bw := bufio.NewWriterSize(countingWriter{w: c, writes: writes}, bufSize)
-	return &tcpConn{c: c, bw: bw, enc: gob.NewEncoder(bw)}
+	return &tcpConn{c: c, bw: bw, enc: codec.NewEncoder(bw)}
 }
 
 // close severs the socket. It deliberately does not take mu: a writer stuck
@@ -420,6 +429,10 @@ func (n *TCPNetwork) accept(tl *tcpListener) {
 // Queue overflow is shed: counted and dropped, exactly like the in-memory
 // transport's injected message loss, which every protocol above already
 // tolerates.
+//
+// The peer's codec is sniffed from the stream preamble (binary connections
+// open with a magic gob can never produce), so the receive side needs no
+// configuration and mixed-codec clusters interoperate.
 func (n *TCPNetwork) serveConn(tl *tcpListener, c net.Conn) {
 	defer n.wg.Done()
 	defer tl.untrack(c)
@@ -436,17 +449,22 @@ func (n *TCPNetwork) serveConn(tl *tcpListener, c net.Conn) {
 	defer close(queue)
 
 	warned := false
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, 64<<10)
+	codec := Codec(Gob)
+	if m, err := br.Peek(len(binaryMagic)); err == nil && [4]byte(m) == binaryMagic {
+		codec = Binary
+	}
+	dec := codec.NewDecoder(br)
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		from, _, msg, err := dec.Decode()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !isConnClosed(err) {
 				n.log.Warn("decode error", "remote", c.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
 		select {
-		case queue <- env:
+		case queue <- envelope{From: from, Payload: msg}:
 		default:
 			n.inboundDropped.Inc()
 			if !warned {
@@ -519,7 +537,7 @@ func (n *TCPNetwork) writeEnvelope(conn *tcpConn, env envelope) error {
 		conn.deadline = now.Add(n.cfg.WriteTimeout)
 		conn.c.SetWriteDeadline(conn.deadline)
 	}
-	if err := conn.enc.Encode(env); err != nil {
+	if err := conn.enc.Encode(env.From, env.To, env.Payload); err != nil {
 		return err
 	}
 	if conn.waiters.Load() > 0 {
@@ -594,7 +612,7 @@ func (n *TCPNetwork) dial(key routeKey, addr string) (*tcpConn, error) {
 		n.dialErrors.Inc()
 		return nil, fmt.Errorf("rpc: dial %s (%s): %w", key.to, addr, err)
 	}
-	conn := newTCPConn(c, n.cfg.WriteBuffer, n.socketWrites)
+	conn := newTCPConn(c, n.cfg.WriteBuffer, n.cfg.Codec, n.socketWrites)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()

@@ -61,10 +61,14 @@ func (s *Store) gaugesLocked() {
 	s.gBytes.Set(float64(s.bytes))
 }
 
-// Put encodes recs and stores them under id, returning the encoded size.
-// Re-putting a block (recovery re-runs a map task) overwrites it.
+// Put encodes recs (columnar varint layout, snappy-compressed above
+// blockCompressThreshold) and stores them under id, returning the stored
+// size. Re-putting a block (recovery re-runs a map task) overwrites it. The
+// stored bytes are what remote fetchers receive verbatim: encoding — and
+// compression — happens exactly once, here, never on the serving path.
 func (s *Store) Put(id BlockID, recs []data.Record) int {
-	b := data.EncodeBatch(make([]byte, 0, data.EncodedSize(recs)), recs)
+	b := data.EncodeBatchColumnar(make([]byte, 0, data.EncodedSize(recs)), recs)
+	b = data.CompressBatch(b, blockCompressThreshold)
 	s.PutRaw(id, b)
 	return len(b)
 }

@@ -1,0 +1,261 @@
+// Package snappy implements the snappy block format (the framing-free
+// variant: a varint uncompressed length followed by literal and copy
+// elements), written against the published format description. It exists
+// because the data plane wants cheap per-block compression and the build
+// deliberately has no external dependencies; both ends of every connection
+// run this implementation, so interoperability with other snappy libraries
+// is a non-goal (though the format is the standard one).
+//
+// The decoder is hardened for hostile input — it is a fuzz target: every
+// length and offset is bounds-checked, allocation is capped by a plausible
+// expansion factor of the *compressed* length (a copy element emits at most
+// 64 bytes from 2, so a tiny input claiming a huge decoded length is
+// rejected before any allocation), and malformed streams return errors,
+// never panic.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+var (
+	// ErrCorrupt is wrapped by every decode error.
+	ErrCorrupt = errors.New("snappy: corrupt input")
+	// ErrTooLarge is returned when a decoded-length claim exceeds the hard cap.
+	ErrTooLarge = errors.New("snappy: decoded block too large")
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	// maxBlockSize is the window the encoder works in: offsets then always
+	// fit the 2-byte copy form.
+	maxBlockSize = 65536
+
+	// maxDecodedLen caps any decoded block (1 GiB), independent of the
+	// expansion-factor plausibility check.
+	maxDecodedLen = 1 << 30
+
+	// maxExpansion bounds legitimate decompression expansion: the densest
+	// element is a 2-byte tagCopy1 emitting up to 11 bytes and a 3-byte
+	// tagCopy2 emitting up to 64, so ~22x is the format's ceiling; 32x
+	// leaves slack while still defeating length-claim allocation bombs.
+	maxExpansion = 32
+)
+
+// AppendEncoded appends the snappy block encoding of src to dst and returns
+// the extended slice.
+func AppendEncoded(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		blk := src
+		if len(blk) > maxBlockSize {
+			blk = blk[:maxBlockSize]
+		}
+		dst = encodeBlock(dst, blk)
+		src = src[len(blk):]
+	}
+	return dst
+}
+
+const (
+	hashTableBits = 14
+	hashMul       = 0x1e35a7bd
+)
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func hash32(u uint32) uint32 {
+	return (u * hashMul) >> (32 - hashTableBits)
+}
+
+// encodeBlock greedily matches 4-byte anchors through a position hash table
+// and emits literal runs between matches. len(src) <= maxBlockSize, so
+// every offset fits the 2-byte copy form.
+func encodeBlock(dst, src []byte) []byte {
+	if len(src) < 8 {
+		return emitLiteral(dst, src)
+	}
+	// Table entries are position+1; zero means empty.
+	var table [1 << hashTableBits]uint32
+	lit := 0 // start of the pending literal run
+	s := 0
+	limit := len(src) - 4 // last position with a full 4-byte load
+	for s <= limit {
+		h := hash32(load32(src, s))
+		cand := int(table[h]) - 1
+		table[h] = uint32(s + 1)
+		if cand < 0 || load32(src, cand) != load32(src, s) {
+			s++
+			continue
+		}
+		// Extend the match forward, eight bytes per probe while a full
+		// word remains (cand < s, so the candidate load stays in bounds
+		// whenever the source load does).
+		matched := 4
+		for s+matched+8 <= len(src) {
+			x := binary.LittleEndian.Uint64(src[cand+matched:]) ^
+				binary.LittleEndian.Uint64(src[s+matched:])
+			if x != 0 {
+				matched += bits.TrailingZeros64(x) >> 3
+				break
+			}
+			matched += 8
+		}
+		for s+matched < len(src) && src[cand+matched] == src[s+matched] {
+			matched++
+		}
+		dst = emitLiteral(dst, src[lit:s])
+		dst = emitCopy(dst, s-cand, matched)
+		s += matched
+		lit = s
+	}
+	return emitLiteral(dst, src[lit:])
+}
+
+// emitLiteral appends a literal element for b (no-op when empty).
+func emitLiteral(dst, b []byte) []byte {
+	n := len(b)
+	if n == 0 {
+		return dst
+	}
+	switch {
+	case n <= 60:
+		dst = append(dst, byte(n-1)<<2|tagLiteral)
+	case n <= 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n-1))
+	default: // block size caps n at 65536
+		dst = append(dst, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+	}
+	return append(dst, b...)
+}
+
+// emitCopy appends 2-byte-offset copy elements covering length bytes at
+// offset. Chunking follows the usual 68/64/60 schedule so the final element
+// is always in the legal 4..64 range.
+func emitCopy(dst []byte, offset, length int) []byte {
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+	return dst
+}
+
+// DecodedLen returns the decoded length claimed by an encoded block's
+// header and the header's size in bytes.
+func DecodedLen(src []byte) (length, headerLen int, err error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if v > maxDecodedLen {
+		return 0, 0, fmt.Errorf("%w: claimed %d bytes", ErrTooLarge, v)
+	}
+	return int(v), n, nil
+}
+
+// Decode decompresses an encoded block into a fresh slice.
+func Decode(src []byte) ([]byte, error) {
+	dLen, hdr, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	// Plausibility before allocation: legitimate snappy cannot expand more
+	// than maxExpansion x the compressed body.
+	body := len(src) - hdr
+	if dLen > maxExpansion*body+64 {
+		return nil, fmt.Errorf("%w: claimed %d bytes from %d compressed", ErrCorrupt, dLen, body)
+	}
+	dst := make([]byte, dLen)
+	j := 0 // write position in dst
+	i := hdr
+	for i < len(src) {
+		tag := src[i]
+		var length, offset int
+		switch tag & 3 {
+		case tagLiteral:
+			l := int(tag >> 2)
+			i++
+			if l >= 60 {
+				extra := l - 59 // 60..63 -> 1..4 trailing length bytes
+				if len(src)-i < extra {
+					return nil, fmt.Errorf("%w: truncated literal length", ErrCorrupt)
+				}
+				l = 0
+				for k := extra - 1; k >= 0; k-- {
+					l = l<<8 | int(src[i+k])
+				}
+				i += extra
+			}
+			length = l + 1
+			if length > len(src)-i {
+				return nil, fmt.Errorf("%w: literal of %d overruns input", ErrCorrupt, length)
+			}
+			if length > dLen-j {
+				return nil, fmt.Errorf("%w: literal of %d overruns output", ErrCorrupt, length)
+			}
+			copy(dst[j:], src[i:i+length])
+			i += length
+			j += length
+			continue
+		case tagCopy1:
+			if len(src)-i < 2 {
+				return nil, fmt.Errorf("%w: truncated copy1", ErrCorrupt)
+			}
+			length = 4 + int(tag>>2)&0x7
+			offset = int(tag&0xe0)<<3 | int(src[i+1])
+			i += 2
+		case tagCopy2:
+			if len(src)-i < 3 {
+				return nil, fmt.Errorf("%w: truncated copy2", ErrCorrupt)
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint16(src[i+1:]))
+			i += 3
+		case tagCopy4:
+			if len(src)-i < 5 {
+				return nil, fmt.Errorf("%w: truncated copy4", ErrCorrupt)
+			}
+			length = 1 + int(tag>>2)
+			o := binary.LittleEndian.Uint32(src[i+1:])
+			if o > maxDecodedLen {
+				return nil, fmt.Errorf("%w: copy4 offset %d", ErrCorrupt, o)
+			}
+			offset = int(o)
+			i += 5
+		}
+		if offset <= 0 || offset > j {
+			return nil, fmt.Errorf("%w: copy offset %d at output position %d", ErrCorrupt, offset, j)
+		}
+		if length > dLen-j {
+			return nil, fmt.Errorf("%w: copy of %d overruns output", ErrCorrupt, length)
+		}
+		// Forward copy in waves: each pass moves min(length, j-from)
+		// bytes, so an overlapping copy (offset < length, the RLE case)
+		// doubles the replicated pattern per pass instead of moving one
+		// byte at a time, and a non-overlapping copy finishes in one.
+		from := j - offset
+		for length > 0 {
+			n := copy(dst[j:j+length], dst[from:j])
+			j += n
+			length -= n
+		}
+	}
+	if j != dLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, header claimed %d", ErrCorrupt, j, dLen)
+	}
+	return dst, nil
+}

@@ -1,0 +1,317 @@
+// Package wire holds the low-level primitives of the hand-rolled binary
+// codec: varint append helpers and a bounds-checked Reader. Every decode
+// path in the data plane funnels through Reader, whose contract is the one
+// the fuzz targets enforce — malformed input returns an error, never panics,
+// and never allocates more than a small constant factor of the input size
+// (length prefixes are validated against the bytes actually present before
+// any allocation happens).
+//
+// Integers use unsigned LEB128 varints; signed values are zigzag-encoded
+// (encoding/binary's AppendVarint). Floats travel as fixed 8-byte
+// little-endian IEEE 754 bits — their high bits are effectively random, so a
+// varint would pessimize them. Byte strings are length-prefixed. There is no
+// framing or type information at this layer; internal/rpc's codec adds both.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"drizzle/internal/snappy"
+)
+
+// ErrMalformed is the sentinel wrapped by every Reader decode error.
+var ErrMalformed = errors.New("wire: malformed input")
+
+// AppendUvarint appends v as an unsigned varint. The one-byte case is
+// inlined: most integers on the wire (stages, partitions, counts, small
+// lengths) fit seven bits.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(dst, byte(v))
+	}
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v zigzag-encoded.
+func AppendVarint(dst []byte, v int64) []byte {
+	if u := uint64(v<<1) ^ uint64(v>>63); u < 0x80 {
+		return append(dst, byte(u))
+	}
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendFloat64 appends the fixed 8-byte little-endian IEEE 754 bits of v.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendString appends s length-prefixed.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends b length-prefixed.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendCompressed appends b length-prefixed with a leading flag byte,
+// snappy-compressing it when it is at least threshold bytes and compression
+// actually shrinks it. A threshold <= 0 disables compression. The layout is
+// flag (0 = raw, 1 = snappy) | uvarint length | payload.
+func AppendCompressed(dst []byte, b []byte, threshold int) []byte {
+	if threshold > 0 && len(b) >= threshold {
+		if enc := snappy.AppendEncoded(nil, b); len(enc) < len(b) {
+			dst = append(dst, 1)
+			return AppendBytes(dst, enc)
+		}
+	}
+	dst = append(dst, 0)
+	return AppendBytes(dst, b)
+}
+
+// Reader decodes the formats produced by the Append helpers. Errors are
+// sticky: after the first malformed field every subsequent call returns the
+// zero value, and Err/Done report what went wrong, so decoders can be
+// written as straight-line field reads with a single check at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+	// scache is a direct-mapped cache of strings String has returned,
+	// indexed by a hash of (length, first byte, last byte). Wire messages
+	// repeat short identifiers heavily — the job name in every descriptor
+	// and dep, a handful of worker IDs in location maps — so one compare
+	// per read skips most of a bundle decode's string allocations.
+	scache [8]string
+}
+
+// NewReader returns a Reader over b. The Reader aliases b; callers that
+// recycle the buffer must finish decoding (including copying byte fields,
+// which Bytes already does) before reuse.
+func NewReader(b []byte) *Reader {
+	return &Reader{b: b}
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Done returns the sticky error, or an error if unread bytes remain — a
+// valid message consumes its input exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing byte(s)", ErrMalformed, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+	}
+}
+
+// Uvarint reads an unsigned varint, with the one-byte case inlined to match
+// AppendUvarint's fast path.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off < len(r.b) {
+		if b0 := r.b[r.off]; b0 < 0x80 {
+			r.off++
+			return uint64(b0)
+		}
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off < len(r.b) {
+		if b0 := r.b[r.off]; b0 < 0x80 {
+			r.off++
+			return int64(b0>>1) ^ -int64(b0&1)
+		}
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a varint and reports it as an int, rejecting values outside the
+// platform int range.
+func (r *Reader) Int() int {
+	v := r.Varint()
+	if int64(int(v)) != v {
+		r.fail("int overflow: %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a 0/1 byte; any other value is malformed.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated bool")
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		r.fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// Float64 reads fixed 8-byte little-endian IEEE 754 bits.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Count reads a collection length prefix and validates it against the bytes
+// actually remaining: each element occupies at least elemMin (>= 1) bytes,
+// so a count that could not possibly be satisfied is rejected before the
+// caller allocates anything proportional to it.
+func (r *Reader) Count(elemMin int) int {
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(r.Remaining()/elemMin) {
+		r.fail("implausible count %d for %d remaining byte(s)", v, r.Remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads a length-prefixed byte string into a fresh slice (so the
+// result never aliases a pooled decode buffer). Zero length yields nil,
+// matching gob's collapse of empty slices — which is what keeps the
+// gob/binary differential oracle exact.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("byte string of %d exceeds %d remaining", n, r.Remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("string of %d exceeds %d remaining", n, r.Remaining())
+		return ""
+	}
+	if n == 0 {
+		return ""
+	}
+	raw := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	idx := (int(n)*131 + int(raw[0]) + int(raw[n-1])*31) & 7
+	// The conversion inside the comparison does not allocate.
+	if r.scache[idx] == string(raw) {
+		return r.scache[idx]
+	}
+	s := string(raw)
+	r.scache[idx] = s
+	return s
+}
+
+// Compressed reads a field written by AppendCompressed, decompressing if the
+// flag byte says so. The snappy decoder bounds its own allocation against
+// the compressed length, so a hostile length claim fails before allocating.
+func (r *Reader) Compressed() []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated compression flag")
+		return nil
+	}
+	flag := r.b[r.off]
+	r.off++
+	switch flag {
+	case 0:
+		return r.Bytes()
+	case 1:
+		enc := r.Bytes()
+		if r.err != nil {
+			return nil
+		}
+		dec, err := snappy.Decode(enc)
+		if err != nil {
+			r.fail("snappy: %v", err)
+			return nil
+		}
+		if len(dec) == 0 {
+			return nil
+		}
+		return dec
+	default:
+		r.fail("bad compression flag %d", flag)
+		return nil
+	}
+}

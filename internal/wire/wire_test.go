@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, 0)
+	b = AppendVarint(b, math.MinInt64)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendFloat64(b, -123.5)
+	b = AppendString(b, "")
+	b = AppendString(b, "héllo")
+	b = AppendBytes(b, nil)
+	b = AppendBytes(b, []byte{1, 2, 3})
+
+	r := NewReader(b)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0: got %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max: got %d", got)
+	}
+	if got := r.Varint(); got != 0 {
+		t.Errorf("varint 0: got %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("varint min: got %d", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint max: got %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round-trip broke")
+	}
+	if got := r.Float64(); got != -123.5 {
+		t.Errorf("float64: got %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty string: got %q", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Errorf("empty bytes should decode nil, got %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes: got %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	cases := map[string]func(r *Reader){
+		"truncated uvarint":  func(r *Reader) { r.Uvarint() },
+		"truncated string":   func(r *Reader) { _ = r.String() },
+		"truncated bytes":    func(r *Reader) { r.Bytes() },
+		"truncated float":    func(r *Reader) { r.Float64() },
+		"truncated bool":     func(r *Reader) { r.Bool() },
+		"oversized count":    func(r *Reader) { r.Count(8) },
+		"compression header": func(r *Reader) { r.Compressed() },
+	}
+	inputs := [][]byte{
+		{0x80},       // unterminated varint
+		{0x05, 'a'},  // length 5, one byte present
+		{0xff, 0xff}, // unterminated varint, continuation bit set
+		{},           // empty
+	}
+	for name, read := range cases {
+		for _, in := range inputs {
+			r := NewReader(in)
+			read(r)
+			// Either the field itself failed or the input was not fully
+			// consumed; flat-out success on garbage is the bug.
+			if r.Err() == nil && r.Done() == nil && len(in) > 0 {
+				t.Errorf("%s: input %v decoded cleanly", name, in)
+			}
+		}
+	}
+}
+
+func TestReaderBoolRejectsNonCanonical(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	// A count of 1<<40 over a 3-byte body must fail before the caller could
+	// allocate anything.
+	b := AppendUvarint(nil, 1<<40)
+	b = append(b, 1, 2, 3)
+	r := NewReader(b)
+	if n := r.Count(1); n != 0 || r.Err() == nil {
+		t.Fatalf("implausible count accepted: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	small := []byte("tiny")
+	big := bytes.Repeat([]byte("drizzle coordination decoupled "), 400) // ~12 KB, compressible
+
+	for _, tc := range []struct {
+		name      string
+		in        []byte
+		threshold int
+		wantFlag  byte
+	}{
+		{"below threshold stays raw", small, 1 << 12, 0},
+		{"above threshold compresses", big, 1 << 12, 1},
+		{"threshold 0 disables", big, 0, 0},
+	} {
+		enc := AppendCompressed(nil, tc.in, tc.threshold)
+		if enc[0] != tc.wantFlag {
+			t.Errorf("%s: flag %d, want %d", tc.name, enc[0], tc.wantFlag)
+		}
+		r := NewReader(enc)
+		got := r.Compressed()
+		if err := r.Done(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, tc.in) {
+			t.Errorf("%s: round-trip mismatch (%d vs %d bytes)", tc.name, len(got), len(tc.in))
+		}
+	}
+	if enc := AppendCompressed(nil, big, 1<<12); len(enc) >= len(big) {
+		t.Errorf("compressible payload did not shrink: %d >= %d", len(enc), len(big))
+	}
+}
+
+func TestCompressedIncompressibleStaysRaw(t *testing.T) {
+	// Pseudo-random bytes do not compress; the encoder must fall back to the
+	// raw form rather than emit a larger "compressed" field.
+	in := make([]byte, 8192)
+	s := uint64(1)
+	for i := range in {
+		s = s*6364136223846793005 + 1442695040888963407
+		in[i] = byte(s >> 56)
+	}
+	enc := AppendCompressed(nil, in, 1<<12)
+	if enc[0] != 0 {
+		t.Fatalf("incompressible payload got flag %d", enc[0])
+	}
+	r := NewReader(enc)
+	if got := r.Compressed(); !bytes.Equal(got, in) {
+		t.Fatal("raw fallback round-trip mismatch")
+	}
+}
