@@ -19,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"drizzle/internal/checkpoint"
 	"drizzle/internal/engine"
 	"drizzle/internal/jobs"
 	"drizzle/internal/metrics"
@@ -54,14 +56,15 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the run's spans as a Chrome trace (Perfetto-loadable) to this file on exit")
 		sample   = flag.Int("trace-sample", 1, "trace every Nth scheduling group (1 = all, 0 = none)")
 		codec    = flag.String("codec", rpc.DefaultCodec.Name(), "wire codec for outbound connections: binary or gob (receivers auto-detect, so a mixed cluster works)")
+		ckptDir  = flag.String("ckpt-dir", "", "durable state directory: WAL + incremental on-disk checkpoints; a driver restarted against the same directory resumes the interrupted run, re-learning its workers from the WAL and their re-registration (-worker flags become optional)")
 		workers  workerList
 	)
 	flag.Var(&workers, "worker", "worker id=addr (repeatable)")
 	flag.Parse()
 
 	log := obs.Component(nil, "driver")
-	if len(workers) == 0 {
-		log.Error("at least one -worker id=addr is required")
+	if len(workers) == 0 && *ckptDir == "" {
+		log.Error("at least one -worker id=addr is required (a recovering driver with -ckpt-dir may omit them)")
 		os.Exit(1)
 	}
 	cfg := engine.DefaultConfig()
@@ -114,7 +117,31 @@ func main() {
 	net := rpc.NewTCPNetworkWithConfig(tcpCfg)
 	defer net.Close()
 	net.SetListenAddr("driver", *listen)
-	driver := engine.NewDriver("driver", net, reg, cfg, nil)
+
+	var store checkpoint.Store
+	if *ckptDir != "" {
+		wal, err := engine.OpenDriverWAL(filepath.Join(*ckptDir, "wal"))
+		if err != nil {
+			log.Error("driver wal open failed", "dir", *ckptDir, "err", err)
+			os.Exit(1)
+		}
+		defer wal.Close()
+		cfg.WAL = wal
+		ls, err := checkpoint.OpenLogStore(filepath.Join(*ckptDir, "state"), checkpoint.LogOptions{})
+		if err != nil {
+			log.Error("checkpoint log open failed", "dir", *ckptDir, "err", err)
+			os.Exit(1)
+		}
+		defer ls.Close()
+		ls.Instrument(registry)
+		store = ls
+		if st := wal.State(); st.HasJob && !st.Done {
+			log.Info("recovered driver state",
+				"job", st.Job, "committed", st.Committed, "epoch", st.Epoch,
+				"workers", len(st.Workers), "corrupt_records", st.Corrupt)
+		}
+	}
+	driver := engine.NewDriver("driver", net, reg, cfg, store)
 	if err := driver.Start(); err != nil {
 		log.Error("driver start failed", "err", err)
 		os.Exit(1)
@@ -140,7 +167,13 @@ func main() {
 		log.Error("run failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("completed %d batches in %v\n", stats.Batches, stats.Wall.Round(time.Millisecond))
+	fmt.Printf("completed %d batches in %v start_nanos=%d\n",
+		stats.Batches, stats.Wall.Round(time.Millisecond), stats.StartNanos)
+	if ls, ok := store.(*checkpoint.LogStore); ok {
+		st := ls.Stats()
+		fmt.Printf("checkpoint volume: %d full records (%d B), %d delta records (%d B), %d compactions, %d corrupt\n",
+			st.FullRecords, st.FullBytes, st.DeltaRecords, st.DeltaBytes, st.Compactions, st.Corrupt)
+	}
 	fmt.Printf("coordination %v, execution %v, groups %v\n",
 		stats.Coord.Round(time.Millisecond), stats.Exec.Round(time.Millisecond), stats.Groups)
 	fmt.Printf("task run times: %s\n", stats.TaskRun.Summary())

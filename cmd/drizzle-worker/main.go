@@ -42,6 +42,9 @@ func main() {
 	cfg.SlotsPerWorker = *slots
 	cfg.HeartbeatInterval = *heartbeat
 	cfg.Slowdown = *slowdown
+	// The address announced in RegisterWorker, so a driver recovering from a
+	// crash-restart can dial this worker back without any -worker flags.
+	cfg.AdvertiseAddr = *listen
 	cfg.Metrics = registry
 	cfg.Tracer = tracer
 

@@ -60,6 +60,15 @@ const (
 	// keep flowing, so only speculation or health-weighted placement can
 	// route around it.
 	EventSlowWorker
+	// EventDriverRestart crashes the driver itself: the incarnation is torn
+	// down mid-run (stopped, dropped from the network) and a fresh driver is
+	// built against the same WAL and checkpoint backend — the in-process
+	// analogue of SIGKILL + restart with the same -ckpt-dir. Workers are NOT
+	// re-added by the harness: the recovered driver must rediscover them from
+	// its WAL membership table plus their own re-registration, then resume
+	// the run from the last committed group. Scenarios that script this event
+	// automatically get durable backends (a real on-disk WAL in a temp dir).
+	EventDriverRestart
 )
 
 // Event is one scripted structural change, fired At after the run starts.
@@ -195,6 +204,17 @@ func (sc Scenario) span() time.Duration {
 	return time.Duration(sc.Batches) * sc.Interval
 }
 
+// hasDriverRestart reports whether the timeline scripts a driver
+// crash-restart, which makes Run provision durable driver backends.
+func (sc Scenario) hasDriverRestart() bool {
+	for _, ev := range sc.Events {
+		if ev.Kind == EventDriverRestart {
+			return true
+		}
+	}
+	return false
+}
+
 // wallDeadline bounds the run: nominal span, plus up to one window of start
 // alignment, plus generous slack for recovery tails under -race. Real
 // per-task compute extends it by the worst case of every map task running
@@ -203,6 +223,13 @@ func (sc Scenario) wallDeadline() time.Duration {
 	d := sc.span() + time.Duration(sc.WindowBatches)*sc.Interval + 15*time.Second
 	if sc.TaskCost > 0 {
 		d += time.Duration(sc.Batches*sc.MapParts*10) * sc.TaskCost
+	}
+	// Each driver restart adds a recovery tail: worker re-registration,
+	// snapshot re-delivery, and the replay of uncommitted batches.
+	for _, ev := range sc.Events {
+		if ev.Kind == EventDriverRestart {
+			d += 10 * time.Second
+		}
 	}
 	return d
 }
@@ -215,6 +242,9 @@ type Report struct {
 	Faults   rpc.FaultStatsSnapshot
 	Killed   []rpc.NodeID
 	Added    []rpc.NodeID
+	// DriverRestarts counts scripted driver crash-restarts that completed
+	// (old incarnation torn down, new one built on the same WAL).
+	DriverRestarts int
 	// Windows is the number of distinct (window, key) results the sink saw.
 	Windows int
 	// CheckpointPuts counts snapshots the driver persisted.
@@ -295,6 +325,9 @@ func (r *Report) Summary() string {
 		r.Scenario.Seed, r.Scenario.Mode, r.Scenario.Workers, r.Scenario.Batches,
 		len(r.Killed), len(r.Added), r.Windows,
 		r.Faults.Dropped, r.Faults.Duplicated, r.Faults.Reordered, r.Faults.Delayed, r.Faults.Blocked, r.Faults.Slowed)
+	if r.DriverRestarts > 0 {
+		s += fmt.Sprintf(" driverRestarts=%d", r.DriverRestarts)
+	}
 	if r.Stats != nil {
 		s += fmt.Sprintf(" wall=%v failures=%d resubmits=%d", r.Stats.Wall.Round(time.Millisecond), r.Stats.Failures, r.Stats.Resubmits)
 		if r.Scenario.Speculation {
@@ -317,6 +350,57 @@ type cluster struct {
 	driver  *engine.Driver
 	workers map[rpc.NodeID]*engine.Worker
 	stopped []*engine.Worker
+
+	// Driver-restart support. store is the shared checkpoint backend and
+	// cfg.WAL (when set) the shared live DriverWAL: both survive an
+	// in-process driver rebuild the way on-disk state survives a real crash.
+	// gen counts driver incarnations so the run loop can tell a scripted
+	// restart (gen advanced) from a genuine failure; closing pins the
+	// incarnation during final teardown.
+	store   *watermarkStore
+	gen     int
+	closing bool
+}
+
+// current returns the live driver and its incarnation number.
+func (c *cluster) current() (*engine.Driver, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.driver, c.gen
+}
+
+// awaitSwap blocks until a driver newer than gen is installed (true) or the
+// cluster is shutting down / no swap is coming (false). The run loop calls
+// it after Driver.Run fails to distinguish a scripted crash-restart from a
+// real failure.
+func (c *cluster) awaitSwap(gen int) bool {
+	if c.cfg.WAL == nil {
+		return false
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.gen == gen && !c.closing {
+		if time.Now().After(deadline) {
+			return false
+		}
+		c.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		c.mu.Lock()
+	}
+	return c.gen > gen
+}
+
+// shutdown stops the current driver and pins the incarnation: after this,
+// restart events are no-ops and the run loop stops waiting for swaps. Safe
+// to call more than once. Callers must have joined the event goroutine
+// first, or a racing restart could install a driver shutdown never sees.
+func (c *cluster) shutdown() {
+	c.mu.Lock()
+	c.closing = true
+	d := c.driver
+	c.mu.Unlock()
+	d.Stop()
 }
 
 func (c *cluster) add(id rpc.NodeID) error {
@@ -362,6 +446,33 @@ func (c *cluster) apply(ev Event, rep *Report) {
 		c.plan.ClearRules()
 		c.plan.UnblockAll()
 		c.plan.ClearSlow()
+	case EventDriverRestart:
+		if c.cfg.WAL == nil {
+			return // no durable backends; nothing to recover against
+		}
+		c.mu.Lock()
+		old, closing := c.driver, c.closing
+		c.mu.Unlock()
+		if closing {
+			return
+		}
+		// Tear the incarnation down the way a crash would: stop it and drop
+		// its network registration so in-flight messages bounce. Then build a
+		// fresh driver on the same WAL + store. Workers are deliberately not
+		// re-added — recovery must find them via the WAL membership table and
+		// their own re-registration.
+		old.Stop()
+		c.net.Unregister("driver")
+		d := engine.NewDriver("driver", c.net, c.reg, c.cfg, c.store)
+		if err := d.Start(); err != nil {
+			rep.violatef("restart driver: %v", err)
+			return
+		}
+		c.mu.Lock()
+		c.driver = d
+		c.gen++
+		c.mu.Unlock()
+		rep.DriverRestarts++
 	}
 }
 
@@ -417,13 +528,34 @@ func Run(sc Scenario) *Report {
 	cfg.Tracer = rep.tracer
 	cfg.Metrics = rep.registry
 	cfg.Logger = obs.Discard()
+	if sc.hasDriverRestart() {
+		// Scenarios that crash the driver get durable backends: a real
+		// on-disk WAL (temp dir, removed after the run) and the shared
+		// in-memory store standing in for a durable checkpoint backend —
+		// the same object is handed to every incarnation, exactly as a
+		// restarted process reopens the same directory.
+		dir, err := os.MkdirTemp("", "drizzle-chaos-wal-")
+		if err != nil {
+			rep.violatef("wal dir: %v", err)
+			return rep
+		}
+		defer os.RemoveAll(dir)
+		w, err := engine.OpenDriverWAL(dir)
+		if err != nil {
+			rep.violatef("open driver wal: %v", err)
+			return rep
+		}
+		defer w.Close()
+		cfg.WAL = w
+		cfg.RecoverWait = 5 * time.Second
+	}
 	driver := engine.NewDriver("driver", net, reg, cfg, store)
 	if err := driver.Start(); err != nil {
 		rep.violatef("start driver: %v", err)
 		return rep
 	}
 	cl := &cluster{
-		net: net, reg: reg, cfg: cfg, plan: plan, driver: driver,
+		net: net, reg: reg, cfg: cfg, plan: plan, driver: driver, store: store,
 		workers: make(map[rpc.NodeID]*engine.Worker),
 	}
 	for i := 0; i < sc.Workers; i++ {
@@ -441,7 +573,17 @@ func Run(sc Scenario) *Report {
 	var runErr error
 	go func() {
 		defer close(done)
-		stats, runErr = driver.Run(jobName, sc.Batches)
+		for {
+			d, gen := cl.current()
+			s, err := d.Run(jobName, sc.Batches)
+			if err != nil && cl.awaitSwap(gen) {
+				// A scripted driver restart interrupted the run; the next
+				// incarnation resumes it from the WAL.
+				continue
+			}
+			stats, runErr = s, err
+			return
+		}
 	}()
 
 	stopEvents := make(chan struct{})
@@ -479,16 +621,21 @@ func Run(sc Scenario) *Report {
 	deadline := sc.wallDeadline()
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
+	timedOut := false
 	select {
 	case <-done:
 	case <-timer.C:
+		timedOut = true
 		rep.violatef("run exceeded wall deadline %v: progress stalled (lost completion or livelock)", deadline)
-		driver.Stop()
-		<-done
 	}
+	// Join the event goroutine before shutdown so a mid-flight restart can't
+	// install a driver the teardown never sees.
 	close(stopEvents)
 	evWG.Wait()
-	driver.Stop()
+	cl.shutdown()
+	if timedOut {
+		<-done
+	}
 	cl.stopAll()
 	net.Close()
 

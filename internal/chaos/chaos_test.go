@@ -279,6 +279,75 @@ func TestChaosBSPWithFaults(t *testing.T) {
 	checkClean(t, sc)
 }
 
+// TestChaosDriverRestart crashes the driver mid-run: the incarnation is
+// torn down and a fresh one rebuilt on the same WAL + checkpoint backend.
+// The recovered driver must rediscover its workers (WAL membership plus
+// worker re-registration — the harness adds none back), resume from the
+// last committed group, and finish with windows identical to the
+// sequential oracle. This is the in-process half of the crash-restart
+// story; the TCP test covers the real-SIGKILL half.
+func TestChaosDriverRestart(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "driver-restart", Seed: 9, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 16, GroupSize: 2, Interval: 40 * time.Millisecond,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 45 / 100, Kind: EventDriverRestart},
+	}
+	rep := checkClean(t, sc)
+	if rep.DriverRestarts != 1 {
+		t.Fatalf("expected 1 driver restart, got %d", rep.DriverRestarts)
+	}
+	if rep.CheckpointPuts == 0 {
+		t.Error("restart run persisted no checkpoints; recovery never had state to resume from")
+	}
+}
+
+// TestChaosDriverRestartAfterWorkerKill stacks the two recoveries: a worker
+// dies, its state migrates, and then the driver itself crashes and restarts.
+// The recovered driver's WAL membership still names the dead worker; it must
+// re-detect the death (heartbeat silence) rather than wedge on it, and the
+// oracle must still hold.
+func TestChaosDriverRestartAfterWorkerKill(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "driver-restart-after-kill", Seed: 10, Mode: engine.ModeDrizzle,
+		Workers: 4, Batches: 18, GroupSize: 3, Interval: 40 * time.Millisecond,
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 25 / 100, Kind: EventKillWorker, Node: "w2"},
+		{At: span * 50 / 100, Kind: EventDriverRestart},
+	}
+	rep := checkClean(t, sc)
+	if len(rep.Killed) != 1 || rep.DriverRestarts != 1 {
+		t.Fatalf("faults did not all land: killed=%v restarts=%d", rep.Killed, rep.DriverRestarts)
+	}
+}
+
+// TestChaosDriverRestartUnderLinkFaults runs the crash-restart with lossy,
+// duplicating links active through the outage: re-registration messages and
+// re-delivered restores are themselves subject to the chaos.
+func TestChaosDriverRestartUnderLinkFaults(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "driver-restart-link-faults", Seed: 12, Mode: engine.ModeDrizzle,
+		Workers: 3, Batches: 16, GroupSize: 2, Interval: 40 * time.Millisecond,
+		Rules: []rpc.LinkFault{{Drop: 0.06}, {Duplicate: 0.15}},
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 40 / 100, Kind: EventDriverRestart},
+		{At: span * 70 / 100, Kind: EventHealAll},
+	}
+	rep := checkClean(t, sc)
+	if rep.DriverRestarts != 1 {
+		t.Fatalf("expected 1 driver restart, got %d", rep.DriverRestarts)
+	}
+}
+
 // chaosCodec resolves the CHAOS_CODEC env var (gob | binary) to the codec
 // every scenario in this run should round-trip its messages through. Unset
 // means nil: messages pass by reference, as the harness always did.

@@ -122,6 +122,16 @@ func RandomScenario(seed int64) Scenario {
 			Event{At: at + dur, Kind: EventUnblock, From: from, To: to},
 		)
 	}
+	// A quarter of scenarios crash-restart the driver itself mid-run. Run
+	// provisions durable backends (on-disk WAL + shared checkpoint store)
+	// for these; the recovered driver must re-learn its workers and resume
+	// from the last committed group. Costs no structural budget — every
+	// worker stays alive through the driver outage.
+	if rng.Intn(4) == 0 {
+		sc.Events = append(sc.Events, Event{
+			At: frac(0.30, 0.60), Kind: EventDriverRestart,
+		})
+	}
 	sc.Events = append(sc.Events, Event{At: span * 7 / 10, Kind: EventHealAll})
 	return sc
 }

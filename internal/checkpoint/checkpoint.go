@@ -13,7 +13,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+
+	"drizzle/internal/metrics"
 )
 
 // StateKey identifies one terminal-stage state partition of a job.
@@ -153,10 +157,14 @@ func (m *MemStore) Latest(k StateKey) (*Snapshot, bool, error) {
 }
 
 // FileStore persists snapshots as files in a directory, one per state key,
-// written atomically (tmp + rename). It backs the TCP-cluster deployment.
+// written atomically (tmp + fsync + rename + dir fsync). It backs the
+// TCP-cluster deployment. An undecodable snapshot file is quarantined as
+// <name>.corrupt and reported as "no snapshot" so one bad file degrades to
+// replay-from-scratch for that partition instead of failing recovery.
 type FileStore struct {
-	dir string
-	mu  sync.Mutex
+	dir     string
+	mu      sync.Mutex
+	corrupt *metrics.Counter
 }
 
 // NewFileStore creates (if needed) and uses dir.
@@ -171,7 +179,17 @@ func (f *FileStore) path(k StateKey) string {
 	return filepath.Join(f.dir, fmt.Sprintf("%s-s%d-p%d.ckpt", k.Job, k.Stage, k.Partition))
 }
 
-// Put implements Store.
+// Instrument registers the corrupt-snapshot counter on r.
+func (f *FileStore) Instrument(r *metrics.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corrupt = r.Counter("drizzle_driver_ckpt_corrupt_total")
+}
+
+// Put implements Store. The snapshot file is fsynced before the rename and
+// the directory after it, so a crash immediately after Put returns cannot
+// lose or tear the snapshot — the rename either happened durably or the
+// old file is still intact.
 func (f *FileStore) Put(s *Snapshot) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -180,13 +198,37 @@ func (f *FileStore) Put(s *Snapshot) error {
 	}
 	body := s.Encode()
 	tmp := f.path(s.Key) + ".tmp"
-	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if _, err := tf.Write(body); err != nil {
+		tf.Close()
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
 	}
 	if err := os.Rename(tmp, f.path(s.Key)); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("checkpoint: fsync dir: %w", err)
+	}
 	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Latest implements Store.
@@ -206,7 +248,50 @@ func (f *FileStore) latestLocked(k StateKey) (*Snapshot, bool, error) {
 	}
 	s, err := DecodeSnapshot(k, b)
 	if err != nil {
-		return nil, false, err
+		// Quarantine rather than fail the whole recovery: the partition
+		// degrades to "no snapshot" and is rebuilt by source replay.
+		if f.corrupt != nil {
+			f.corrupt.Inc()
+		}
+		_ = os.Rename(f.path(k), f.path(k)+".corrupt")
+		return nil, false, nil
 	}
 	return s, true, nil
 }
+
+// Keys implements StateBackend by listing snapshot files. Key fields are
+// parsed from the right so job names containing dashes stay intact.
+func (f *FileStore) Keys() ([]StateKey, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var ks []StateKey
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".ckpt")
+		if !ok {
+			continue
+		}
+		pi := strings.LastIndex(name, "-p")
+		if pi < 0 {
+			continue
+		}
+		si := strings.LastIndex(name[:pi], "-s")
+		if si < 0 {
+			continue
+		}
+		stage, err1 := strconv.Atoi(name[si+2 : pi])
+		part, err2 := strconv.Atoi(name[pi+2:])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		ks = append(ks, StateKey{Job: name[:si], Stage: stage, Partition: part})
+	}
+	return ks, nil
+}
+
+// Sync implements StateBackend; Put already fsyncs, so this is a no-op.
+func (f *FileStore) Sync() error { return nil }
+
+// Close implements StateBackend.
+func (f *FileStore) Close() error { return nil }

@@ -120,6 +120,17 @@ type Heartbeat struct {
 	Nanos  int64
 }
 
+// RegisterWorker is a worker's explicit membership request: sent at
+// startup and re-sent whenever the driver has been silent long enough to
+// suggest it restarted and lost its membership table. Addr is the worker's
+// advertised transport address so a recovered driver can dial back without
+// any static -worker configuration. Registration is idempotent — a driver
+// that already knows the worker ignores it.
+type RegisterWorker struct {
+	Worker rpc.NodeID
+	Addr   string
+}
+
 // TakeCheckpoint asks a worker to snapshot the state of its terminal-stage
 // partitions that have applied every batch up to and including UpTo.
 type TakeCheckpoint struct {
@@ -161,6 +172,7 @@ func init() {
 	rpc.RegisterType(DataReady{})
 	rpc.RegisterType(TaskStatus{})
 	rpc.RegisterType(Heartbeat{})
+	rpc.RegisterType(RegisterWorker{})
 	rpc.RegisterType(TakeCheckpoint{})
 	rpc.RegisterType(CheckpointData{})
 	rpc.RegisterType(RestoreState{})

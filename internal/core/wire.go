@@ -30,6 +30,7 @@ const (
 	tagTakeCheckpoint   = 9
 	tagCheckpointData   = 10
 	tagRestoreState     = 11
+	tagRegisterWorker   = 12
 )
 
 // stateCompressThreshold is the size above which checkpoint state payloads
@@ -314,6 +315,18 @@ func init() {
 		func(b []byte) (any, error) {
 			r := wire.NewReader(b)
 			m := Heartbeat{Worker: rpc.NodeID(r.String()), Nanos: r.Varint()}
+			return m, r.Done()
+		})
+
+	rpc.RegisterBinaryMessage(tagRegisterWorker, RegisterWorker{},
+		func(dst []byte, msg any) []byte {
+			m := msg.(RegisterWorker)
+			dst = wire.AppendString(dst, string(m.Worker))
+			return wire.AppendString(dst, m.Addr)
+		},
+		func(b []byte) (any, error) {
+			r := wire.NewReader(b)
+			m := RegisterWorker{Worker: rpc.NodeID(r.String()), Addr: r.String()}
 			return m, r.Done()
 		})
 

@@ -169,6 +169,25 @@ type Config struct {
 	// injects the same fault through the transport's fault plan instead.
 	Slowdown float64
 
+	// WAL, when non-nil, is the driver's write-ahead log: job starts,
+	// group commits, and membership epochs are recorded so a crashed
+	// driver restarted against the same directory resumes the run instead
+	// of starting over. Nil (the default) keeps the driver stateless
+	// across restarts, as before.
+	WAL *DriverWAL
+	// RecoverWait bounds how long a recovering driver (WAL set) waits for
+	// workers to (re-)register before giving up with "no live workers".
+	// Fresh runs without a WAL fail immediately, as before.
+	RecoverWait time.Duration
+	// ReRegisterAfter is how long a worker tolerates driver silence before
+	// re-sending RegisterWorker — the path by which a restarted driver
+	// relearns its workers. 0 picks a default of 4x HeartbeatInterval.
+	ReRegisterAfter time.Duration
+	// AdvertiseAddr is the transport address a worker announces in
+	// RegisterWorker so a recovered driver can dial it back. Empty on
+	// in-memory networks, where node IDs route directly.
+	AdvertiseAddr string
+
 	// Costs emulates driver-side scheduling costs.
 	Costs CostModel
 
@@ -252,6 +271,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthProbation <= 0 {
 		c.HealthProbation = 2 * time.Second
+	}
+	if c.ReRegisterAfter <= 0 {
+		c.ReRegisterAfter = 4 * c.HeartbeatInterval
+	}
+	if c.RecoverWait <= 0 {
+		c.RecoverWait = 2 * c.HeartbeatTimeout
 	}
 	if c.Logger == nil {
 		c.Logger = obs.Default()

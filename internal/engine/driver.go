@@ -159,6 +159,22 @@ func (d *Driver) Start() error {
 	if err := d.net.Register(d.id, d.handle); err != nil {
 		return fmt.Errorf("engine: driver: %w", err)
 	}
+	if d.cfg.WAL != nil {
+		// Cold-start recovery, step 1: adopt the recorded membership epoch
+		// (admitPending bumps past it, so workers holding the old epoch
+		// never discard the new placement as stale) and queue the recorded
+		// workers for re-admission. Workers that died with the old driver
+		// simply never heartbeat and are swept by the monitor.
+		st := d.cfg.WAL.State()
+		d.mu.Lock()
+		if st.Epoch > d.epoch {
+			d.epoch = st.Epoch
+		}
+		d.mu.Unlock()
+		for id, addr := range st.Workers {
+			d.AddWorkerAddr(id, addr)
+		}
+	}
 	d.wg.Add(1)
 	go d.monitor()
 	return nil
@@ -189,6 +205,11 @@ func (d *Driver) AddWorkerAddr(id rpc.NodeID, addr string) {
 	}
 	if ws, ok := d.workers[id]; ok && ws.alive {
 		return
+	}
+	for _, p := range d.pendAdd {
+		if p == id {
+			return // re-registration retries must not queue duplicates
+		}
 	}
 	d.pendAdd = append(d.pendAdd, id)
 }
@@ -223,6 +244,18 @@ func (d *Driver) LiveWorkers() []rpc.NodeID {
 	return d.liveLocked()
 }
 
+// membershipTableLocked snapshots the live worker set with advertised
+// addresses for WAL membership records (callers hold d.mu).
+func (d *Driver) membershipTableLocked() map[rpc.NodeID]string {
+	out := make(map[rpc.NodeID]string, len(d.workers))
+	for id, ws := range d.workers {
+		if ws.alive {
+			out[id] = d.addrs[id]
+		}
+	}
+	return out
+}
+
 func (d *Driver) liveLocked() []rpc.NodeID {
 	var out []rpc.NodeID
 	for id, ws := range d.workers {
@@ -242,6 +275,11 @@ func (d *Driver) handle(from rpc.NodeID, msg any) {
 			ws.lastHeartbeat = time.Now()
 		}
 		d.mu.Unlock()
+	case core.RegisterWorker:
+		// Idempotent: AddWorkerAddr ignores workers already alive or
+		// pending. This is how a restarted driver relearns its cluster —
+		// workers re-register when the driver goes silent on them.
+		d.AddWorkerAddr(m.Worker, m.Addr)
 	case core.TaskStatus:
 		select {
 		case d.statusCh <- m:
@@ -343,7 +381,18 @@ func (d *Driver) admitPending(jobName string, startNanos int64) (core.Placement,
 		d.placement = core.NewWeightedPlacement(d.epoch, d.liveLocked(), weights)
 	}
 	p := d.placement
+	var walEpoch int64
+	var walWorkers map[rpc.NodeID]string
+	if changed && d.cfg.WAL != nil {
+		walEpoch = d.epoch
+		walWorkers = d.membershipTableLocked()
+	}
 	d.mu.Unlock()
+	if walWorkers != nil {
+		if err := d.cfg.WAL.AppendMembership(walEpoch, walWorkers); err != nil {
+			d.log.Warn("wal membership append failed", "err", err)
+		}
+	}
 
 	// New workers need the job before membership makes them targets.
 	for _, id := range added {
@@ -368,11 +417,30 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		return nil, fmt.Errorf("engine: numBatches must be positive")
 	}
 
+	// Cold-start recovery, step 2: a WAL holding an unfinished run of this
+	// job means we are a restarted driver. Resume the *same* stream — the
+	// recorded StartNanos, not a fresh aligned one: shifting the epoch
+	// would move every window boundary and orphan checkpointed windows —
+	// from the batch after the last durable group commit.
+	startNanos := int64(0)
+	resumeFrom := core.BatchID(0)
+	resuming := false
+	if d.cfg.WAL != nil {
+		if st := d.cfg.WAL.State(); st.HasJob && st.Job == jobName && !st.Done {
+			resuming = true
+			startNanos = st.StartNanos
+			resumeFrom = core.BatchID(st.Committed + 1)
+		}
+	}
+	if !resuming {
+		startNanos = alignedStart(job)
+	}
+
 	rs := &runState{
 		planner: &core.GroupPlanner{
 			JobName:    jobName,
 			Job:        job,
-			StartNanos: alignedStart(job),
+			StartNanos: startNanos,
 		},
 		jobName:     jobName,
 		numBatches:  core.BatchID(numBatches),
@@ -396,12 +464,38 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 	rs.stats.StartNanos = rs.planner.StartNanos
 
 	placement, _, _ := d.admitPending(jobName, rs.planner.StartNanos)
+	if placement.NumWorkers() == 0 && d.cfg.WAL != nil {
+		// A recovering driver starts with zero live workers by definition;
+		// give re-registration (driver-silence detection on the workers)
+		// a bounded window before declaring the cluster empty.
+		deadline := time.Now().Add(d.cfg.RecoverWait)
+		for placement.NumWorkers() == 0 && time.Now().Before(deadline) {
+			select {
+			case <-d.stop:
+				return nil, errors.New("engine: driver stopped")
+			case <-time.After(d.cfg.HeartbeatInterval / 2):
+			}
+			placement, _, _ = d.admitPending(jobName, rs.planner.StartNanos)
+		}
+	}
 	if placement.NumWorkers() == 0 {
 		return nil, errors.New("engine: no live workers")
 	}
 	rs.placement = placement
 	d.broadcast(core.SubmitJob{Job: jobName, StartNanos: rs.planner.StartNanos})
 	d.broadcast(d.membershipUpdate(placement))
+
+	if d.cfg.WAL != nil {
+		if resuming {
+			rs.ckptBatch = resumeFrom - 1
+			d.tightenStall(rs)
+			if err := d.seedRecovery(rs, resumeFrom); err != nil {
+				return rs.stats, err
+			}
+		} else if err := d.cfg.WAL.AppendJobStart(jobName, rs.planner.StartNanos, numBatches); err != nil {
+			return nil, fmt.Errorf("engine: wal job start: %w", err)
+		}
+	}
 
 	var tuner *groupsize.Tuner
 	groupSize := d.cfg.GroupSize
@@ -423,7 +517,7 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 
 	wallStart := time.Now()
 	groupSeq := int64(0)
-	for b := core.BatchID(0); b < rs.numBatches; {
+	for b := resumeFrom; b < rs.numBatches; {
 		if p, changed, _ := d.admitPending(jobName, rs.planner.StartNanos); changed {
 			d.migrateState(rs, rs.placement, p)
 			rs.placement = p
@@ -462,10 +556,36 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 
 		b += core.BatchID(g)
 		groupSeq++
+		// A committed group proves the worker status path is flowing again;
+		// drop back to the configured stall interval if recovery tightened it.
+		rs.stallEvery = d.cfg.StallResend
 
+		if d.cfg.WAL != nil {
+			// Off the barrier path: the commit record is queued, not
+			// fsynced. Losing it costs a re-run of an already-complete
+			// group after a crash, which the snapshot floors and window
+			// dedup make harmless.
+			if err := d.cfg.WAL.AppendGroupCommit(int64(b - 1)); err != nil {
+				d.log.Warn("wal group commit append failed", "err", err)
+			}
+		}
 		if d.cfg.CheckpointEvery > 0 && groupSeq%int64(d.cfg.CheckpointEvery) == 0 {
 			d.broadcast(core.TakeCheckpoint{Job: jobName, UpTo: b - 1})
 			rs.ckptBatch = b - 1
+			// The checkpoint boundary is where durability is declared
+			// (purgeWatermark starts trusting snapshots at or below
+			// ckptBatch), so this is the one place that waits on fsync:
+			// commit records queued above plus snapshots already stored.
+			if d.cfg.WAL != nil {
+				if err := d.cfg.WAL.Sync(); err != nil {
+					d.log.Warn("wal sync failed", "err", err)
+				}
+			}
+			if sb, ok := d.ckpt.(checkpoint.StateBackend); ok {
+				if err := sb.Sync(); err != nil {
+					d.log.Warn("checkpoint backend sync failed", "err", err)
+				}
+			}
 		}
 		if tuner != nil {
 			groupSize = tuner.Update(coord, exec)
@@ -483,9 +603,82 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 	if tuner != nil {
 		rs.stats.TunerTrace = tuner.History()
 	}
+	if d.cfg.WAL != nil {
+		if err := d.cfg.WAL.AppendJobDone(jobName); err != nil {
+			d.log.Warn("wal job done append failed", "err", err)
+		}
+	}
 	rs.stats.Health = d.health.Snapshot(time.Now())
 	rs.stats.Wall = time.Since(wallStart)
 	return rs.stats, nil
+}
+
+// seedRecovery rebuilds a resumed run's execution state: every windowed
+// terminal partition gets its latest snapshot re-delivered (workers that
+// survived the driver refuse snapshots they have progressed past, cold
+// workers install them), and every batch between the oldest snapshot floor
+// and the resume point is replayed in full — sources are deterministic
+// functions of (StartNanos, batch), so the replay regenerates identical
+// data and the window dedup keeps state exactly-once. The full closure is
+// resubmitted (not just terminal tasks) because producers for those
+// batches were never launched by *this* driver incarnation, and the
+// lineage walk in resendIncomplete skips never-launched producers.
+func (d *Driver) seedRecovery(rs *runState, resumeFrom core.BatchID) error {
+	job := rs.planner.Job
+	replayFrom := resumeFrom
+	for si := range job.Stages {
+		stage := &job.Stages[si]
+		if !stage.IsTerminal() || stage.Window == nil {
+			continue
+		}
+		for p := 0; p < stage.NumPartitions; p++ {
+			key := checkpoint.StateKey{Job: rs.jobName, Stage: si, Partition: p}
+			snapBatch := core.BatchID(-1)
+			if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+				snapBatch = core.BatchID(snap.Batch)
+			}
+			rs.restores[key] = snapBatch
+			d.sendRestore(rs, key)
+			if snapBatch+1 < replayFrom {
+				replayFrom = snapBatch + 1
+			}
+		}
+	}
+	if replayFrom < 0 {
+		replayFrom = 0
+	}
+	if replayFrom >= resumeFrom {
+		return nil // snapshots already cover everything committed
+	}
+	d.log.Info("recovery replay", "from", int64(replayFrom), "to", int64(resumeFrom-1))
+	rs.groupFirst, rs.groupSize = replayFrom, int(resumeFrom-replayFrom)
+	var ids []core.TaskID
+	for b := replayFrom; b < resumeFrom; b++ {
+		for si := range job.Stages {
+			for p := 0; p < job.Stages[si].NumPartitions; p++ {
+				ids = append(ids, core.TaskID{Batch: b, Stage: si, Partition: p})
+			}
+		}
+	}
+	rs.stats.Resubmits += len(ids)
+	d.m.resubmits.Add(int64(len(ids)))
+	d.resubmit(rs, ids)
+	return d.waitTasks(rs)
+}
+
+// tightenStall lowers the run's stall-resend interval for the start of a
+// recovered run: right after a driver restart the workers' transports are
+// often still in redial backoff, so their status reports vanish into broken
+// connections and only a stall resend repairs the loss. The production
+// interval would dominate restart-to-first-commit latency; descriptors are
+// idempotent, so the only cost of the tighter net is some duplicate work.
+// Run restores the configured interval once the first group commits (a
+// commit proves the status path is flowing again).
+func (d *Driver) tightenStall(rs *runState) {
+	rs.stallEvery = 4 * d.cfg.HeartbeatInterval
+	if rs.stallEvery > d.cfg.StallResend {
+		rs.stallEvery = d.cfg.StallResend
+	}
 }
 
 // runState is the driver's bookkeeping for one Run.
@@ -537,6 +730,14 @@ type runState struct {
 	// shrinkPending asks the Run loop to force the tuner to MinGroup at the
 	// next group boundary (worker failure or straggler detected, §3.4).
 	shrinkPending bool
+	// stallEvery is the effective stall-resend interval for waitTasks.
+	// Normally cfg.StallResend; the crash-recovery drain tightens it
+	// because right after a driver restart the workers' transports are
+	// often still redialing (their status reports silently drop), and
+	// waiting a full production stall interval would dominate recovery
+	// time. Re-sent descriptors are idempotent, so the only cost of the
+	// tighter net is a little duplicate work during the drain.
+	stallEvery time.Duration
 
 	stats *RunStats
 }
@@ -644,7 +845,14 @@ func (d *Driver) purgeWatermark(rs *runState) core.BatchID {
 		for p := 0; p < stage.NumPartitions && wm > 0; p++ {
 			key := checkpoint.StateKey{Job: rs.jobName, Stage: si, Partition: p}
 			covered := core.BatchID(0)
-			if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
+			if ds, ok := d.ckpt.(checkpoint.DurableStore); ok {
+				// On a durable backend only a *synced* snapshot counts:
+				// an accepted-but-unfsynced one would vanish with a
+				// crash, and the purged lineage with it.
+				if b, ok := ds.DurableBatch(key); ok {
+					covered = core.BatchID(b) + 1
+				}
+			} else if snap, ok, err := d.ckpt.Latest(key); err == nil && ok {
 				covered = core.BatchID(snap.Batch) + 1
 			}
 			if covered < wm {
@@ -850,7 +1058,10 @@ func (d *Driver) sleepUntil(rs *runState, deadline time.Time) error {
 // timers here are reusable (no per-event time.After / time.AfterFunc
 // allocations — the leak class fixed in Fetcher.Fetch in PR 2).
 func (d *Driver) waitTasks(rs *runState) error {
-	stall := time.NewTimer(d.cfg.StallResend)
+	if rs.stallEvery <= 0 {
+		rs.stallEvery = d.cfg.StallResend
+	}
+	stall := time.NewTimer(rs.stallEvery)
 	defer stall.Stop()
 	// retry is armed each loop iteration to the earliest due entry of
 	// rs.retryQ; it starts stopped-and-drained so arming is uniform.
@@ -880,7 +1091,7 @@ func (d *Driver) waitTasks(rs *runState) error {
 				default:
 				}
 			}
-			stall.Reset(d.cfg.StallResend)
+			stall.Reset(rs.stallEvery)
 		case <-retry.C:
 			d.fireRetries(rs)
 		case w := <-d.failCh:
@@ -889,7 +1100,7 @@ func (d *Driver) waitTasks(rs *runState) error {
 			d.checkStragglers(rs)
 		case <-stall.C:
 			d.resendIncomplete(rs)
-			stall.Reset(d.cfg.StallResend)
+			stall.Reset(rs.stallEvery)
 		}
 	}
 	return nil
@@ -934,8 +1145,48 @@ func (d *Driver) fireRetries(rs *runState) {
 	}
 	rs.retryQ = rest
 	if len(due) > 0 {
+		due = d.repairLineage(rs, due)
 		d.resubmit(rs, due)
 	}
+}
+
+// repairLineage extends a set of about-to-retry tasks with the producers of
+// any dependency whose recorded holder has left the placement — the same
+// transitive walk the stall safety net does. It cannot be left to the stall
+// net alone: every status report, including a failure, resets the stall
+// timer, so a task failing in a tight retry loop starves the stall path
+// forever while it burns through MaxTaskAttempts. A task on its third or
+// later attempt additionally distrusts its recorded holders outright: a
+// retry loop that keeps failing is almost always a consumer chasing a stale
+// shuffle location (a holder that died between producing and serving, or a
+// worker-side ready entry poisoned by a duplicated DataReady from before a
+// driver restart). Re-running the producers refreshes every location table
+// with a live holder.
+func (d *Driver) repairLineage(rs *runState, ids []core.TaskID) []core.TaskID {
+	inSet := make(map[core.TaskID]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+	frontier := append([]core.TaskID(nil), ids...)
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		distrust := rs.attempts[id] >= 2
+		for _, dep := range rs.planner.DepsOf(id.Batch, id.Stage, id.Partition) {
+			if h, ok := rs.mapHolders[dep]; ok && rs.placement.Contains(h) && !distrust {
+				continue // surviving output, reusable via lineage
+			}
+			producer := core.TaskID{Batch: dep.Batch, Stage: dep.Stage, Partition: dep.MapPartition}
+			if inSet[producer] || !rs.completed[producer] {
+				continue // being resent anyway, or the launch path owns it
+			}
+			delete(rs.mapHolders, dep)
+			inSet[producer] = true
+			ids = append(ids, producer)
+			frontier = append(frontier, producer)
+		}
+	}
+	return ids
 }
 
 // onStatus processes one task status report. With speculation there can be
@@ -1308,7 +1559,17 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 	}
 	newP := core.NewWeightedPlacement(d.epoch, d.liveLocked(), weights)
 	d.placement = newP
+	var walWorkers map[rpc.NodeID]string
+	if d.cfg.WAL != nil {
+		walWorkers = d.membershipTableLocked()
+	}
+	walEpoch := d.epoch
 	d.mu.Unlock()
+	if walWorkers != nil {
+		if err := d.cfg.WAL.AppendMembership(walEpoch, walWorkers); err != nil {
+			d.log.Warn("wal membership append failed", "err", err)
+		}
+	}
 
 	if fi, ok := d.net.(rpc.FailureInjector); ok {
 		// Ensure no in-flight sends target the dead node (real TCP would
@@ -1326,6 +1587,19 @@ func (d *Driver) onWorkerFailure(rs *runState, dead rpc.NodeID) {
 	oldP := rs.placement
 	rs.placement = newP
 	d.broadcast(d.membershipUpdate(newP))
+
+	// In-flight shuffle producers on surviving workers push their DataReady
+	// notifications using the placement they captured at task start — under
+	// the old epoch some of those point at the dead worker and vanish, and
+	// a consumer partition that moved to a new owner then waits the full
+	// stall interval for a location it should have learned at commit time.
+	// Mark every outstanding producer for a driver-side relay so the commit
+	// re-announces the holder under the new placement.
+	for id := range rs.outstanding {
+		if rs.planner.Job.Stages[id.Stage].Shuffle != nil {
+			rs.relay[id] = true
+		}
+	}
 
 	if newP.NumWorkers() == 0 {
 		return // waitTasks will stall; nothing can run

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"drizzle/internal/rpc"
+	"drizzle/internal/wal"
+	"drizzle/internal/wire"
+)
+
+// Driver WAL record kinds. The WAL is tiny by design: it records only the
+// control-plane facts a restarted driver cannot re-derive — which job was
+// running and from when (the window epoch), how far the stream has
+// committed (the source offset: batches are pure functions of
+// (StartNanos, batch), so the committed batch ID *is* the offset), and the
+// membership epoch/address table for dialing workers back.
+const (
+	walJobStart    = 1 // job name, start nanos, num batches
+	walGroupCommit = 2 // last batch committed by a finished group
+	walMembership  = 3 // epoch + worker id/addr table
+	walJobDone     = 4 // job name; terminal record for a run
+)
+
+// WALState is the driver's recovered control-plane state: the fold of
+// every record in the WAL.
+type WALState struct {
+	HasJob     bool
+	Job        string
+	StartNanos int64
+	NumBatches int
+	// Committed is the last batch a group commit declared complete; -1
+	// before the first commit.
+	Committed int64
+	Done      bool
+	Epoch     int64
+	Workers   map[rpc.NodeID]string // id -> advertised addr ("" on in-mem)
+	// Corrupt counts records skipped during replay.
+	Corrupt int
+}
+
+// DriverWAL is the driver's write-ahead log. Appends are asynchronous
+// (wal.Log's bounded queue); Sync is the explicit durability barrier the
+// driver invokes only at checkpoint boundaries, keeping fsync off the
+// per-group path. The in-memory mirror tracks the log's logical fold so
+// an in-process driver rebuild (chaos teardown) reads State() without
+// reopening files, while a new process replays the same answer from disk.
+type DriverWAL struct {
+	mu  sync.Mutex
+	log *wal.Log
+	st  WALState
+}
+
+// OpenDriverWAL opens (creating if needed) the driver WAL in dir and
+// replays it. Corrupt records are skipped and counted, a torn tail is
+// truncated; neither fails the open.
+func OpenDriverWAL(dir string) (*DriverWAL, error) {
+	w := &DriverWAL{st: WALState{Committed: -1, Workers: make(map[rpc.NodeID]string)}}
+	l, stats, err := wal.Open(dir, wal.Options{}, func(p []byte) error {
+		w.apply(p)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: driver wal: %w", err)
+	}
+	w.log = l
+	w.st.Corrupt += stats.Corrupt
+	return w, nil
+}
+
+// apply folds one record into the mirror (callers hold mu or are the
+// single-threaded replay).
+func (w *DriverWAL) apply(p []byte) {
+	if len(p) < 1 {
+		w.st.Corrupt++
+		return
+	}
+	r := wire.NewReader(p[1:])
+	switch p[0] {
+	case walJobStart:
+		job := r.String()
+		start := r.Varint()
+		n := r.Varint()
+		if r.Done() != nil {
+			w.st.Corrupt++
+			return
+		}
+		w.st.HasJob = true
+		w.st.Job = job
+		w.st.StartNanos = start
+		w.st.NumBatches = int(n)
+		w.st.Committed = -1
+		w.st.Done = false
+	case walGroupCommit:
+		through := r.Varint()
+		if r.Done() != nil {
+			w.st.Corrupt++
+			return
+		}
+		if through > w.st.Committed {
+			w.st.Committed = through
+		}
+	case walMembership:
+		epoch := r.Varint()
+		n := r.Count(2)
+		workers := make(map[rpc.NodeID]string, n)
+		for i := 0; i < n; i++ {
+			id := rpc.NodeID(r.String())
+			workers[id] = r.String()
+		}
+		if r.Done() != nil {
+			w.st.Corrupt++
+			return
+		}
+		if epoch >= w.st.Epoch {
+			w.st.Epoch = epoch
+			w.st.Workers = workers
+		}
+	case walJobDone:
+		job := r.String()
+		if r.Done() != nil {
+			w.st.Corrupt++
+			return
+		}
+		if job == w.st.Job {
+			w.st.Done = true
+		}
+	default:
+		w.st.Corrupt++
+	}
+}
+
+// State returns a copy of the recovered/current control-plane state.
+func (w *DriverWAL) State() WALState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.st
+	st.Workers = make(map[rpc.NodeID]string, len(w.st.Workers))
+	for id, a := range w.st.Workers {
+		st.Workers[id] = a
+	}
+	return st
+}
+
+func encodeJobStart(job string, startNanos int64, numBatches int) []byte {
+	b := []byte{walJobStart}
+	b = wire.AppendString(b, job)
+	b = wire.AppendVarint(b, startNanos)
+	return wire.AppendVarint(b, int64(numBatches))
+}
+
+func encodeMembership(epoch int64, workers map[rpc.NodeID]string) []byte {
+	b := []byte{walMembership}
+	b = wire.AppendVarint(b, epoch)
+	b = wire.AppendUvarint(b, uint64(len(workers)))
+	for id, addr := range workers {
+		b = wire.AppendString(b, string(id))
+		b = wire.AppendString(b, addr)
+	}
+	return b
+}
+
+// AppendJobStart records the start of a run and compacts the log: a new
+// run obsoletes every prior record, so the WAL is rewritten as one
+// JobStart plus the current membership, synced, and old segments dropped.
+func (w *DriverWAL) AppendJobStart(job string, startNanos int64, numBatches int) error {
+	w.mu.Lock()
+	w.st.HasJob = true
+	w.st.Job = job
+	w.st.StartNanos = startNanos
+	w.st.NumBatches = numBatches
+	w.st.Committed = -1
+	w.st.Done = false
+	epoch, workers := w.st.Epoch, w.st.Workers
+	w.mu.Unlock()
+	if err := w.log.Rotate(); err != nil {
+		return err
+	}
+	if _, err := w.log.Append(encodeJobStart(job, startNanos, numBatches)); err != nil {
+		return err
+	}
+	if _, err := w.log.Append(encodeMembership(epoch, workers)); err != nil {
+		return err
+	}
+	if err := w.log.Sync(); err != nil {
+		return err
+	}
+	return w.log.DropSealed()
+}
+
+// AppendGroupCommit records that every batch up to and including through
+// is complete. Asynchronous: durability arrives with the next Sync.
+func (w *DriverWAL) AppendGroupCommit(through int64) error {
+	w.mu.Lock()
+	if through > w.st.Committed {
+		w.st.Committed = through
+	}
+	w.mu.Unlock()
+	b := []byte{walGroupCommit}
+	_, err := w.log.Append(wire.AppendVarint(b, through))
+	return err
+}
+
+// AppendMembership records a membership change. Asynchronous.
+func (w *DriverWAL) AppendMembership(epoch int64, workers map[rpc.NodeID]string) error {
+	w.mu.Lock()
+	if epoch >= w.st.Epoch {
+		w.st.Epoch = epoch
+		w.st.Workers = make(map[rpc.NodeID]string, len(workers))
+		for id, a := range workers {
+			w.st.Workers[id] = a
+		}
+	}
+	w.mu.Unlock()
+	_, err := w.log.Append(encodeMembership(epoch, workers))
+	return err
+}
+
+// AppendJobDone marks the run complete and syncs: completion must not be
+// forgotten, or a restart would re-run a finished job.
+func (w *DriverWAL) AppendJobDone(job string) error {
+	w.mu.Lock()
+	if job == w.st.Job {
+		w.st.Done = true
+	}
+	w.mu.Unlock()
+	b := []byte{walJobDone}
+	if _, err := w.log.Append(wire.AppendString(b, job)); err != nil {
+		return err
+	}
+	return w.log.Sync()
+}
+
+// Sync is the durability barrier: it blocks until every append so far is
+// fsynced.
+func (w *DriverWAL) Sync() error { return w.log.Sync() }
+
+// Close flushes and closes the underlying log.
+func (w *DriverWAL) Close() error { return w.log.Close() }

@@ -1,0 +1,256 @@
+package engine_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"drizzle/internal/jobs"
+)
+
+// TestTCPDriverCrashRestart is the full-cluster recovery proof over real
+// sockets and real processes: a driver process running the oracle-demo job
+// against a -ckpt-dir is SIGKILLed mid-run (no flush, no goodbye), then a
+// second driver process is started against the same directory and the same
+// listen address with NO -worker flags. It must recover the run from its
+// WAL and incremental checkpoints, re-learn the workers (WAL membership
+// plus the workers' own re-registration), resume at the correct batch with
+// the original stream epoch, and finish. The workers record every sink
+// emission to JSONL; the merged record must match the sequential reference
+// exactly — no lost windows, no conflicting values.
+func TestTCPDriverCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH; cannot build binaries")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := t.TempDir()
+	workerBin := filepath.Join(tmp, "drizzle-worker")
+	driverBin := filepath.Join(tmp, "drizzle-driver")
+	for _, b := range []struct{ out, pkg string }{
+		{workerBin, "./cmd/drizzle-worker"},
+		{driverBin, "./cmd/drizzle-driver"},
+	} {
+		build := exec.Command(goBin, "build", "-o", b.out, b.pkg)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	ckptDir := filepath.Join(tmp, "ckpt")
+	oracleDir := filepath.Join(tmp, "oracle")
+	if err := os.MkdirAll(oracleDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	driverAddr := freePort(t)
+
+	// Workers first: they advertise their listen address in RegisterWorker
+	// and re-send it whenever the driver goes silent, which is exactly how
+	// the restarted driver will find them.
+	workers := make(map[string]*exec.Cmd, 2)
+	var workerSpecs []string
+	for _, id := range []string{"w0", "w1"} {
+		addr := freePort(t)
+		cmd := exec.Command(workerBin,
+			"-id", id, "-listen", addr, "-driver", driverAddr,
+			"-slots", "4", "-heartbeat", "100ms")
+		cmd.Env = append(os.Environ(), jobs.OracleDirEnv+"="+oracleDir)
+		cmd.Stdout = &procLog{t: t, id: id}
+		cmd.Stderr = &procLog{t: t, id: id}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", id, err)
+		}
+		workers[id] = cmd
+		workerSpecs = append(workerSpecs, "-worker", id+"="+addr)
+		waitListening(t, id, addr)
+	}
+	defer func() {
+		for _, cmd := range workers {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	const batches = 30
+	driverArgs := func(withWorkers bool) []string {
+		args := []string{
+			"-listen", driverAddr, "-job", jobs.OracleDemo,
+			"-batches", strconv.Itoa(batches), "-mode", "drizzle", "-group", "3",
+			"-ckpt-dir", ckptDir,
+		}
+		if withWorkers {
+			args = append(args, workerSpecs...)
+		}
+		return args
+	}
+
+	d1 := exec.Command(driverBin, driverArgs(true)...)
+	d1.Stdout = &procLog{t: t, id: "driver1"}
+	d1.Stderr = &procLog{t: t, id: "driver1"}
+	if err := d1.Start(); err != nil {
+		t.Fatalf("starting driver: %v", err)
+	}
+	killedDriver := false
+	defer func() {
+		if !killedDriver {
+			d1.Process.Kill()
+		}
+		d1.Wait()
+	}()
+
+	// Wait until the run has produced real durable progress — at least one
+	// closed window written by a worker sink — then SIGKILL the driver. An
+	// emission implies committed groups in the WAL and snapshots in the
+	// checkpoint log, so the restart genuinely resumes rather than starting
+	// over.
+	waitEmissions := func(min int, timeout time.Duration) int {
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if n := len(readEmissions(t, oracleDir)); n >= min {
+				return n
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return len(readEmissions(t, oracleDir))
+	}
+	if n := waitEmissions(2, 30*time.Second); n < 2 {
+		t.Fatalf("run produced only %d emissions before crash point", n)
+	}
+	if err := d1.Process.Kill(); err != nil {
+		t.Fatalf("killing driver: %v", err)
+	}
+	killedDriver = true
+	d1.Wait()
+	t.Log("SIGKILLed driver mid-run")
+
+	// Second incarnation: same ckpt-dir, same listen address, no -worker
+	// flags. Completion plus a matching oracle proves recovery end to end.
+	restartAt := time.Now()
+	var stdout captureLog
+	stdout.t, stdout.id = t, "driver2"
+	d2 := exec.Command(driverBin, driverArgs(false)...)
+	d2.Stdout = &stdout
+	d2.Stderr = &procLog{t: t, id: "driver2"}
+	if err := d2.Start(); err != nil {
+		t.Fatalf("restarting driver: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("restarted driver failed: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		d2.Process.Kill()
+		<-done
+		t.Fatal("restarted driver did not complete within 90s")
+	}
+	t.Logf("restart to completed run took %v", time.Since(restartAt).Round(time.Millisecond))
+
+	m := regexp.MustCompile(`completed (\d+) batches .*start_nanos=(\d+)`).FindSubmatch(stdout.bytes())
+	if m == nil {
+		t.Fatalf("restarted driver never printed completion: %q", stdout.bytes())
+	}
+	gotBatches, _ := strconv.Atoi(string(m[1]))
+	startNanos, _ := strconv.ParseInt(string(m[2]), 10, 64)
+	if gotBatches != batches {
+		t.Fatalf("completed %d batches, want %d", gotBatches, batches)
+	}
+
+	// Exactly-once oracle: merge every emission from every worker process.
+	// Duplicate emissions with identical values are legal (idempotent sink);
+	// two different values for one (window, key), a missing window, or an
+	// unexpected one all mean recovery corrupted the stream.
+	got := make(map[[2]int64]int64)
+	for _, e := range readEmissions(t, oracleDir) {
+		k := [2]int64{e.Window, int64(e.Key)}
+		if prev, ok := got[k]; ok && prev != e.Val {
+			t.Errorf("sink conflict: window=%d key=%d rewritten %d -> %d", e.Window, e.Key, prev, e.Val)
+		}
+		got[k] = e.Val
+	}
+	want := jobs.OracleExpected(startNanos, batches)
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("missing window=%d key=%d (want %d)", k[0], k[1], wv)
+		} else if gv != wv {
+			t.Errorf("window=%d key=%d: got %d want %d", k[0], k[1], gv, wv)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unexpected window=%d key=%d", k[0], k[1])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("oracle produced no closed windows; the scenario proves nothing")
+	}
+	t.Logf("oracle: %d windows match the sequential reference exactly", len(want))
+}
+
+// readEmissions parses every emit-*.jsonl the worker sinks have written so
+// far. Partial trailing lines (a sink mid-write) are skipped.
+func readEmissions(t *testing.T, dir string) []jobs.OracleEmission {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "emit-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []jobs.OracleEmission
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var e jobs.OracleEmission
+			if json.Unmarshal(sc.Bytes(), &e) == nil {
+				out = append(out, e)
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+// captureLog tees a child process's output to the test log while keeping a
+// copy for parsing.
+type captureLog struct {
+	t  *testing.T
+	id string
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (c *captureLog) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.b.Write(p)
+	c.mu.Unlock()
+	c.t.Logf("[%s] %s", c.id, p)
+	return len(p), nil
+}
+
+func (c *captureLog) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.b.Bytes()...)
+}

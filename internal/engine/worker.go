@@ -39,6 +39,11 @@ type Worker struct {
 	mu        sync.Mutex
 	jobs      map[string]*jobInfo
 	placement core.Placement
+	// lastDriver is when the driver was last heard from; prolonged silence
+	// triggers re-registration (the driver may have restarted and lost its
+	// membership table). lastRegister rate-limits the re-sends.
+	lastDriver   time.Time
+	lastRegister time.Time
 	// kills marks task attempts the driver told us to abandon: pending ones
 	// are dequeued immediately, running ones have their status report
 	// suppressed when they finish. Marks are garbage-collected by the purge
@@ -120,6 +125,11 @@ func (w *Worker) Start() error {
 		w.wg.Add(1)
 		go w.serveFetchLoop()
 	}
+	w.mu.Lock()
+	w.lastDriver = time.Now()
+	w.lastRegister = time.Now()
+	w.mu.Unlock()
+	w.send(w.driver, core.RegisterWorker{Worker: w.id, Addr: w.cfg.AdvertiseAddr})
 	w.wg.Add(1)
 	go w.heartbeatLoop()
 	return nil
@@ -164,6 +174,21 @@ func (w *Worker) heartbeatLoop() {
 			return
 		case now := <-t.C:
 			w.send(w.driver, core.Heartbeat{Worker: w.id, Nanos: now.UnixNano()})
+			// Driver silence past the threshold suggests it restarted and
+			// no longer knows us (a live driver sends at least membership
+			// and launches); re-register until it speaks again. The TCP
+			// transport already redials with exponential backoff underneath,
+			// so this is purely app-level re-admission.
+			w.mu.Lock()
+			stale := now.Sub(w.lastDriver) > w.cfg.ReRegisterAfter &&
+				now.Sub(w.lastRegister) > w.cfg.ReRegisterAfter
+			if stale {
+				w.lastRegister = now
+			}
+			w.mu.Unlock()
+			if stale {
+				w.send(w.driver, core.RegisterWorker{Worker: w.id, Addr: w.cfg.AdvertiseAddr})
+			}
 		}
 	}
 }
@@ -171,6 +196,11 @@ func (w *Worker) heartbeatLoop() {
 // handle dispatches incoming control and data messages. It runs on the
 // transport's delivery goroutine; anything slow is handed to slots.
 func (w *Worker) handle(from rpc.NodeID, msg any) {
+	if from == w.driver {
+		w.mu.Lock()
+		w.lastDriver = time.Now()
+		w.mu.Unlock()
+	}
 	switch m := msg.(type) {
 	case core.SubmitJob:
 		w.onSubmitJob(m)
@@ -190,7 +220,20 @@ func (w *Worker) handle(from rpc.NodeID, msg any) {
 	case core.KillTask:
 		w.onKill(m)
 	case core.DataReady:
-		w.ls.OnDataReady(m.Dep, m.Holder)
+		// Validate the holder against current membership: under faulty links
+		// a duplicated notification can arrive long after InvalidateHolders
+		// cleaned the location table — or after a driver restart — and would
+		// re-poison it with a dead holder that every fetch then chases.
+		// Before the first membership update everything is accepted. A
+		// notification racing ahead of the membership that adds its holder
+		// is dropped here and repaired by the driver's relay or the stall
+		// resend.
+		w.mu.Lock()
+		trusted := w.placement.NumWorkers() == 0 || w.placement.Contains(m.Holder)
+		w.mu.Unlock()
+		if trusted {
+			w.ls.OnDataReady(m.Dep, m.Holder)
+		}
 	case shuffle.FetchRequest:
 		select {
 		case w.fetchQ <- m:

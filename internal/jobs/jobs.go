@@ -32,6 +32,9 @@ func RegisterBuiltin(reg *engine.Registry) error {
 	if err := registerYahooDemo(reg); err != nil {
 		return err
 	}
+	if err := registerOracleDemo(reg); err != nil {
+		return err
+	}
 	return registerWordCountDemo(reg)
 }
 

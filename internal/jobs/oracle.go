@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"drizzle/internal/dag"
+	"drizzle/internal/data"
+	"drizzle/internal/engine"
+	"drizzle/internal/obs"
+)
+
+// OracleDemo is a fully deterministic windowed-sum job whose sink can write
+// every emission to disk, so a multi-process run can be checked against the
+// sequential reference (OracleExpected) after the fact. It exists for the
+// crash-restart end-to-end test: SIGKILL the driver mid-run, restart it
+// against the same -ckpt-dir, and prove the merged emissions still match
+// the oracle exactly.
+const OracleDemo = "oracle-demo"
+
+// OracleDirEnv names the directory the oracle-demo sink appends its
+// emissions to, one JSONL file per process. Unset disables the recording
+// (the job still runs).
+const OracleDirEnv = "DRIZZLE_ORACLE_DIR"
+
+// The plan is derived from these constants alone, so every process in the
+// cluster builds the identical job and the reference implementation below
+// stays in lockstep with the distributed one.
+const (
+	oracleInterval      = 100 * time.Millisecond
+	oracleMapParts      = 4
+	oracleReduceParts   = 2
+	oracleKeys          = 6
+	oracleRecsPerPart   = 30
+	oracleWindowBatches = 4
+)
+
+// oracleVal is the deterministic per-record value: values vary per record so
+// a lost micro-batch and a double-counted one shift window sums differently.
+func oracleVal(batch int64, partition, i int) int64 {
+	h := uint64(batch)*0x9e3779b97f4a7c15 +
+		uint64(partition)*0xbf58476d1ce4e5b9 +
+		uint64(i)*0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h%9) + 1
+}
+
+// oracleSource is a pure function of (batch, partition): replay after any
+// crash regenerates identical records, which is what lets recovery reprocess
+// uncommitted batches without an external replayable source.
+func oracleSource(b dag.BatchInfo) []data.Record {
+	recs := make([]data.Record, 0, oracleRecsPerPart)
+	span := b.End - b.Start
+	for i := 0; i < oracleRecsPerPart; i++ {
+		recs = append(recs, data.Record{
+			Key:  uint64(i % oracleKeys),
+			Val:  oracleVal(b.Batch, b.Partition, i),
+			Time: b.Start + int64(i)*span/oracleRecsPerPart,
+		})
+	}
+	return recs
+}
+
+// OracleEmission is one sink output record as written to the JSONL files.
+type OracleEmission struct {
+	Window    int64  `json:"window"`
+	Key       uint64 `json:"key"`
+	Val       int64  `json:"val"`
+	Batch     int64  `json:"batch"`
+	Partition int    `json:"partition"`
+}
+
+// oracleFileSink appends every emission to $DRIZZLE_ORACLE_DIR/emit-<pid>.jsonl
+// (lazily opened; pid distinguishes the worker processes sharing the
+// directory). Re-emitting a window with the same value is legal — the
+// idempotent-sink contract recovery relies on — so the checker tolerates
+// duplicates and flags only differing values.
+func oracleFileSink() dag.SinkFunc {
+	var mu sync.Mutex
+	var f *os.File
+	return func(batch int64, partition int, out []data.Record) {
+		dir := os.Getenv(OracleDirEnv)
+		if dir == "" || len(out) == 0 {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if f == nil {
+			var err error
+			path := filepath.Join(dir, fmt.Sprintf("emit-%d.jsonl", os.Getpid()))
+			f, err = os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+			if err != nil {
+				obs.Component(nil, "jobs").Error("oracle sink open failed", "path", path, "err", err)
+				return
+			}
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range out {
+			e := OracleEmission{Window: r.Time, Key: r.Key, Val: r.Val, Batch: batch, Partition: partition}
+			if err := enc.Encode(e); err != nil {
+				obs.Component(nil, "jobs").Error("oracle sink write failed", "err", err)
+				return
+			}
+		}
+	}
+}
+
+func registerOracleDemo(reg *engine.Registry) error {
+	job := &dag.Job{
+		Name:     OracleDemo,
+		Interval: oracleInterval,
+		Stages: []dag.Stage{
+			{
+				ID:            0,
+				NumPartitions: oracleMapParts,
+				Source:        oracleSource,
+				Shuffle:       &dag.ShuffleSpec{NumReducers: oracleReduceParts},
+			},
+			{
+				ID:            1,
+				NumPartitions: oracleReduceParts,
+				Parents:       []int{0},
+				Reduce:        dag.Sum,
+				Window:        &dag.WindowSpec{Size: oracleWindowBatches * oracleInterval},
+				Sink:          oracleFileSink(),
+			},
+		},
+	}
+	return reg.Register(OracleDemo, job)
+}
+
+// OracleExpected runs the oracle-demo source through a sequential reference
+// and returns (window, key) -> sum for every window that closes within the
+// run. startNanos is the stream epoch the driver printed (start_nanos=...);
+// a recovered run must report the original epoch or every window boundary
+// shifts.
+func OracleExpected(startNanos int64, batches int) map[[2]int64]int64 {
+	win := dag.WindowSpec{Size: oracleWindowBatches * oracleInterval}
+	interval := int64(oracleInterval)
+	sums := make(map[[2]int64]int64)
+	for b := 0; b < batches; b++ {
+		for p := 0; p < oracleMapParts; p++ {
+			info := dag.BatchInfo{
+				Batch:     int64(b),
+				Partition: p,
+				Start:     startNanos + int64(b)*interval,
+				End:       startNanos + int64(b+1)*interval,
+			}
+			for _, r := range oracleSource(info) {
+				w := win.Assign(r.Time)
+				sums[[2]int64{w, int64(r.Key)}] += r.Val
+			}
+		}
+	}
+	lastClose := startNanos + int64(batches)*interval
+	for k := range sums {
+		if k[0]+int64(win.Size) > lastClose {
+			delete(sums, k) // window still open when the run ended
+		}
+	}
+	return sums
+}

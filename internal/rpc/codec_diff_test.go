@@ -256,6 +256,9 @@ var generators = map[string]func(r *rand.Rand) any{
 	"Heartbeat": func(r *rand.Rand) any {
 		return core.Heartbeat{Worker: genNodeID(r), Nanos: genInt64(r)}
 	},
+	"RegisterWorker": func(r *rand.Rand) any {
+		return core.RegisterWorker{Worker: genNodeID(r), Addr: genString(r)}
+	},
 	"TakeCheckpoint": func(r *rand.Rand) any {
 		return core.TakeCheckpoint{Job: genString(r), UpTo: core.BatchID(genInt64(r))}
 	},
@@ -304,7 +307,7 @@ var generators = map[string]func(r *rand.Rand) any{
 var zeroValues = []any{
 	core.SubmitJob{}, core.MembershipUpdate{}, core.LaunchTasks{},
 	core.CancelTasks{}, core.KillTask{}, core.DataReady{}, core.TaskStatus{},
-	core.Heartbeat{}, core.TakeCheckpoint{}, core.CheckpointData{},
+	core.Heartbeat{}, core.RegisterWorker{}, core.TakeCheckpoint{}, core.CheckpointData{},
 	core.RestoreState{}, shuffle.FetchRequest{}, shuffle.FetchResponse{},
 }
 
