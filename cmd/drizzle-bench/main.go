@@ -172,7 +172,7 @@ func main() {
 	if *obsAddr != "" {
 		obsRegistry = metrics.NewRegistry()
 		obsTracer = trace.New("bench", trace.DefaultCapacity)
-		srv, err := obs.Serve(*obsAddr, obsRegistry, obsTracer)
+		srv, err := obs.Serve(*obsAddr, obs.Options{Registry: obsRegistry, Tracer: obsTracer})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obs server: %v\n", err)
 			os.Exit(1)

@@ -90,16 +90,6 @@ func main() {
 	cfg.Metrics = registry
 	cfg.Tracer = tracer
 
-	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, registry, tracer)
-		if err != nil {
-			log.Error("observability server failed", "addr", *obsAddr, "err", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		log.Info("observability endpoints up", "addr", srv.Addr())
-	}
-
 	reg := engine.NewRegistry()
 	if err := jobs.RegisterBuiltin(reg); err != nil {
 		log.Error("job registration failed", "err", err)
@@ -142,6 +132,24 @@ func main() {
 		}
 	}
 	driver := engine.NewDriver("driver", net, reg, cfg, store)
+
+	// The obs server starts after the driver exists so /timeseriesz can
+	// serve the driver's history ring (which also carries the mirrored
+	// per-worker series shipped over heartbeats).
+	health := obs.NewHealth()
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, obs.Options{
+			Registry: registry, Tracer: tracer,
+			History: driver.History(), Health: health,
+		})
+		if err != nil {
+			log.Error("observability server failed", "addr", *obsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("observability endpoints up", "addr", srv.Addr())
+	}
+
 	if err := driver.Start(); err != nil {
 		log.Error("driver start failed", "err", err)
 		os.Exit(1)
@@ -154,8 +162,10 @@ func main() {
 		log.Info("admitted worker", "worker", parts[0], "addr", parts[1])
 	}
 
+	health.SetServing()
 	log.Info("run starting", "job", *job, "batches", *batches, "mode", *mode, "group", *group)
 	stats, err := driver.Run(*job, *batches)
+	health.SetDraining()
 	if *traceOut != "" {
 		if werr := writeTrace(*traceOut, tracer); werr != nil {
 			log.Error("trace export failed", "path", *traceOut, "err", werr)

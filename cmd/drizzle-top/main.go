@@ -1,0 +1,200 @@
+// Command drizzle-top is a terminal cluster monitor, in the spirit of top(1):
+// it polls a driver's /metricsz endpoint and renders one row per worker from
+// the telemetry the workers ship over their heartbeats (mirrored under the
+// cluster: prefix) plus the driver's own health classification.
+//
+//	drizzle-top -addr 127.0.0.1:9090            # live view, refreshed every second
+//	drizzle-top -addr 127.0.0.1:9090 -once      # one machine-readable (TSV) sample
+//
+// The -once mode prints a stable tab-separated table for scripts and CI:
+// header line first, then one line per worker sorted by id.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"drizzle/internal/metrics"
+)
+
+// row is one worker's line in the table. Everything except health comes from
+// heartbeat-shipped series (cluster: prefix); health is the driver's own
+// classification of the worker.
+type row struct {
+	worker  string
+	health  string
+	queue   int64
+	pending int64
+	ok      int64
+	failed  int64
+	p50     float64
+	p95     float64
+	p99     float64
+}
+
+func fetchSnapshot(client *http.Client, url string) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// workerSet discovers the cluster's workers from any series carrying a
+// worker label: mirrored (cluster:) series shipped over heartbeats and the
+// driver's local per-worker series (health, shuffle fetch stats).
+func workerSet(snap metrics.Snapshot) []string {
+	set := make(map[string]struct{})
+	scan := func(key string) {
+		if w, ok := metrics.LabelValue(key, "worker"); ok {
+			set[w] = struct{}{}
+		}
+	}
+	for k := range snap.Counters {
+		scan(k)
+	}
+	for k := range snap.Gauges {
+		scan(k)
+	}
+	for k := range snap.Histograms {
+		scan(k)
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func healthClass(v float64) string {
+	switch int(v) {
+	case 1:
+		return "degraded"
+	case 2:
+		return "blacklisted"
+	default:
+		return "healthy"
+	}
+}
+
+func buildRows(snap metrics.Snapshot) []row {
+	mirror := func(name string) string { return metrics.ClusterPrefix + name }
+	rows := make([]row, 0, 8)
+	for _, w := range workerSet(snap) {
+		run := snap.Histograms[metrics.Key(mirror("drizzle_worker_task_run_ms"), "worker", w)]
+		rows = append(rows, row{
+			worker:  w,
+			health:  healthClass(snap.GaugeValue("drizzle_worker_health_state", "worker", w)),
+			queue:   int64(snap.GaugeValue(mirror("drizzle_worker_queue_depth"), "worker", w)),
+			pending: int64(snap.GaugeValue(mirror("drizzle_worker_pending_tasks"), "worker", w)),
+			ok:      snap.CounterValue(mirror("drizzle_worker_tasks_ok_total"), "worker", w),
+			failed:  snap.CounterValue(mirror("drizzle_worker_tasks_failed_total"), "worker", w),
+			p50:     run.P50,
+			p95:     run.P95,
+			p99:     run.P99,
+		})
+	}
+	return rows
+}
+
+// sloBreaches sums drizzle_driver_slo_breaches_total across breach kinds.
+func sloBreaches(snap metrics.Snapshot) int64 {
+	var n int64
+	for k, v := range snap.Counters {
+		if metrics.Family(k) == "drizzle_driver_slo_breaches_total" {
+			n += v
+		}
+	}
+	return n
+}
+
+func printTSV(w *strings.Builder, rows []row) {
+	fmt.Fprintln(w, "worker\thealth\tqueue\tpending\ttasks_ok\ttasks_failed\tp50_ms\tp95_ms\tp99_ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
+			r.worker, r.health, r.queue, r.pending, r.ok, r.failed, r.p50, r.p95, r.p99)
+	}
+}
+
+func printLive(w *strings.Builder, snap metrics.Snapshot, rows []row, addr string) {
+	fmt.Fprintf(w, "drizzle-top — %s — %s\n\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "batches %d   groups %d   group size %.0f   backlog %.0f   batch p.latency %.1f ms\n",
+		snap.CounterValue("drizzle_driver_batches_total"),
+		snap.CounterValue("drizzle_driver_groups_total"),
+		snap.GaugeValue("drizzle_driver_group_size"),
+		snap.GaugeValue("drizzle_driver_slo_backlog_batches"),
+		snap.GaugeValue("drizzle_driver_batch_latency_ms"))
+	fmt.Fprintf(w, "slo breaches %d   speculation won %d / wasted %d\n\n",
+		sloBreaches(snap),
+		snap.CounterValue("drizzle_driver_speculative_won_total"),
+		snap.CounterValue("drizzle_driver_speculative_wasted_total"))
+	fmt.Fprintf(w, "%-10s %-12s %7s %8s %9s %7s %9s %9s %9s\n",
+		"WORKER", "HEALTH", "QUEUE", "PENDING", "OK", "FAILED", "P50(ms)", "P95(ms)", "P99(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-12s %7d %8d %9d %7d %9.2f %9.2f %9.2f\n",
+			r.worker, r.health, r.queue, r.pending, r.ok, r.failed, r.p50, r.p95, r.p99)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no workers visible yet — telemetry arrives with the first shipped heartbeat)")
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "driver observability address (host:port of its -obs-addr)")
+		interval = flag.Duration("interval", time.Second, "refresh interval in live mode")
+		once     = flag.Bool("once", false, "print one machine-readable (TSV) sample and exit")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/metricsz"
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		snap, err := fetchSnapshot(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drizzle-top: %v\n", err)
+			os.Exit(1)
+		}
+		var out strings.Builder
+		printTSV(&out, buildRows(snap))
+		fmt.Print(out.String())
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		snap, err := fetchSnapshot(client, url)
+		var out strings.Builder
+		out.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err != nil {
+			fmt.Fprintf(&out, "drizzle-top — %s — unreachable: %v\n", *addr, err)
+		} else {
+			printLive(&out, snap, buildRows(snap), *addr)
+		}
+		fmt.Print(out.String())
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-t.C:
+		}
+	}
+}

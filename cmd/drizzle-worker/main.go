@@ -48,8 +48,9 @@ func main() {
 	cfg.Metrics = registry
 	cfg.Tracer = tracer
 
+	health := obs.NewHealth()
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, registry, tracer)
+		srv, err := obs.Serve(*obsAddr, obs.Options{Registry: registry, Tracer: tracer, Health: health})
 		if err != nil {
 			log.Error("observability server failed", "addr", *obsAddr, "err", err)
 			os.Exit(1)
@@ -82,11 +83,13 @@ func main() {
 		log.Error("worker start failed", "err", err)
 		os.Exit(1)
 	}
+	health.SetServing()
 	log.Info("listening", "addr", *listen, "driver", *driver)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	health.SetDraining()
 	log.Info("shutting down")
 	w.Stop()
 }

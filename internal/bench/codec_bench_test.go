@@ -68,6 +68,32 @@ func benchBatchBlock(recs int) any {
 	}
 }
 
+// benchShippedHeartbeat is a heartbeat carrying a realistic telemetry
+// payload: the changed-only delta a busy worker ships every beat (a few
+// counters, its queue gauges, and the task-runtime summary). The gap between
+// this shape and the bare "heartbeat" shape is the per-beat wire cost of
+// metric shipping.
+func benchShippedHeartbeat() any {
+	key := func(name string) string { return name + `{worker="worker-3"}` }
+	return core.Heartbeat{
+		Worker: "worker-3", Nanos: 1_700_000_000_000_000_000,
+		Incarnation: 1_700_000_000_000_000_000, Seq: 17,
+		Counters: []core.CounterSample{
+			{Key: key("drizzle_worker_tasks_ok_total"), Value: 4210},
+			{Key: key("drizzle_worker_shuffle_fetches_total"), Value: 1963},
+			{Key: key("drizzle_worker_shuffle_fetch_bytes_total"), Value: 88_316_412},
+		},
+		Gauges: []core.GaugeSample{
+			{Key: key("drizzle_worker_queue_depth"), Value: 3},
+			{Key: key("drizzle_worker_pending_tasks"), Value: 11},
+		},
+		Summaries: []core.SummarySample{{
+			Key: key("drizzle_worker_task_run_ms"), Count: 4210, Sum: 9_871.4,
+			P50: 1.9, P95: 6.2, P99: 11.0, Max: 41.7,
+		}},
+	}
+}
+
 func benchCheckpointState(size int) any {
 	b := make([]byte, size)
 	for i := range b {
@@ -83,6 +109,7 @@ func BenchmarkCodecPayloadShapes(b *testing.B) {
 	}{
 		{"task-status", benchTaskStatus()},
 		{"heartbeat", core.Heartbeat{Worker: "worker-3", Nanos: 1_700_000_000_000_000_000}},
+		{"heartbeat-shipped", benchShippedHeartbeat()},
 		{"launch-64-tasks", benchLaunchTasks(64)},
 		{"batch-block-4k-recs", benchBatchBlock(4096)},
 		{"state-64k", benchCheckpointState(64 << 10)},

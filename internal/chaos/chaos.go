@@ -127,6 +127,15 @@ type Scenario struct {
 	// Nil sends values by reference as before. The CHAOS_CODEC env var and
 	// the codec-equivalence test drive this.
 	Codec rpc.Codec
+
+	// VerifyTelemetry adds a telemetry-plane oracle after the run: for every
+	// surviving worker, the driver's heartbeat-shipped mirror (cluster:
+	// series) must converge to the worker's locally maintained values — a
+	// duplicated or re-ordered heartbeat that were double-applied, or a
+	// dropped one that was never repaired by a periodic full ship, shows up
+	// as a permanent divergence. The timeline should end with EventHealAll
+	// so the final values can actually be delivered.
+	VerifyTelemetry bool
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -253,9 +262,12 @@ type Report struct {
 
 	// tracer and registry hold the run's observability state so a failing
 	// seed's full lifecycle (spans + counters) can be dumped for post-mortem
-	// debugging via WriteArtifacts.
+	// debugging via WriteArtifacts. history is the final driver
+	// incarnation's time-series ring (per-series last-N windows over the
+	// same registry).
 	tracer   *trace.Tracer
 	registry *metrics.Registry
+	history  *metrics.History
 }
 
 func (r *Report) violatef(format string, args ...any) {
@@ -312,6 +324,11 @@ func (r *Report) WriteArtifacts(dir string) ([]string, error) {
 	}
 	if err := write("metrics.json", func(f *os.File) error {
 		return r.registry.Snapshot().WriteJSON(f)
+	}); err != nil {
+		return paths, err
+	}
+	if err := write("timeseries.json", func(f *os.File) error {
+		return r.history.Dump(time.Now()).WriteJSON(f)
 	}); err != nil {
 		return paths, err
 	}
@@ -476,6 +493,50 @@ func (c *cluster) apply(ev Event, rep *Report) {
 	}
 }
 
+// verifyTelemetry polls until every surviving worker's heartbeat-shipped
+// mirror equals the worker's local series, or the deadline passes (reported
+// as a violation). Because shipped samples are absolute values guarded by an
+// (incarnation, seq) ratchet, any permanent divergence means the ingest
+// double-applied a duplicated/re-ordered heartbeat or lost a value no
+// periodic full ship repaired.
+func (c *cluster) verifyTelemetry(rep *Report, reg *metrics.Registry, within time.Duration) {
+	counterFams := []string{"drizzle_worker_tasks_ok_total", "drizzle_worker_tasks_failed_total"}
+	deadline := time.Now().Add(within)
+	for {
+		c.mu.Lock()
+		ids := make([]rpc.NodeID, 0, len(c.workers))
+		for id := range c.workers {
+			ids = append(ids, id)
+		}
+		c.mu.Unlock()
+		snap := reg.Snapshot()
+		var diverged []string
+		for _, id := range ids {
+			for _, fam := range counterFams {
+				local := snap.CounterValue(fam, "worker", string(id))
+				mirror := snap.Counters[metrics.ClusterPrefix+metrics.Key(fam, "worker", string(id))]
+				if local != mirror {
+					diverged = append(diverged, fmt.Sprintf("%s{worker=%s}: local=%d mirror=%d", fam, id, local, mirror))
+				}
+			}
+			lq := snap.GaugeValue("drizzle_worker_queue_depth", "worker", string(id))
+			mq := snap.Gauges[metrics.ClusterPrefix+metrics.Key("drizzle_worker_queue_depth", "worker", string(id))]
+			if lq != mq {
+				diverged = append(diverged, fmt.Sprintf("drizzle_worker_queue_depth{worker=%s}: local=%v mirror=%v", id, lq, mq))
+			}
+		}
+		if len(diverged) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			rep.violatef("telemetry mirror never converged to worker-local values within %v: %s",
+				within, strings.Join(diverged, "; "))
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func (c *cluster) stopAll() {
 	c.mu.Lock()
 	ws := make([]*engine.Worker, 0, len(c.workers)+len(c.stopped))
@@ -632,6 +693,13 @@ func Run(sc Scenario) *Report {
 	// install a driver the teardown never sees.
 	close(stopEvents)
 	evWG.Wait()
+	// The telemetry oracle needs the driver still ingesting and the workers
+	// still heartbeating, so it runs before any teardown.
+	if sc.VerifyTelemetry && !timedOut {
+		cl.verifyTelemetry(rep, rep.registry, 3*time.Second)
+	}
+	d, _ := cl.current()
+	rep.history = d.History()
 	cl.shutdown()
 	if timedOut {
 		<-done

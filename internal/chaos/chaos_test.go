@@ -77,8 +77,8 @@ func TestWriteArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("WriteArtifacts: %v", err)
 	}
-	if len(paths) != 3 {
-		t.Fatalf("expected 3 artifacts, got %v", paths)
+	if len(paths) != 4 {
+		t.Fatalf("expected 4 artifacts, got %v", paths)
 	}
 	jf, err := os.Open(paths[0])
 	if err != nil {
@@ -114,6 +114,17 @@ func TestWriteArtifacts(t *testing.T) {
 	}
 	if snap.Counters["drizzle_driver_groups_total"] == 0 {
 		t.Errorf("metrics.json missing driver counters: %v", snap.Counters)
+	}
+	tb, err := os.ReadFile(paths[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump metrics.HistoryDump
+	if err := json.Unmarshal(tb, &dump); err != nil {
+		t.Fatalf("timeseries.json unparseable: %v", err)
+	}
+	if dump.CapturedUnixNanos == 0 {
+		t.Error("timeseries.json carries no capture timestamp")
 	}
 }
 
@@ -345,6 +356,54 @@ func TestChaosDriverRestartUnderLinkFaults(t *testing.T) {
 	rep := checkClean(t, sc)
 	if rep.DriverRestarts != 1 {
 		t.Fatalf("expected 1 driver restart, got %d", rep.DriverRestarts)
+	}
+}
+
+// TestChaosTelemetryConvergence is the telemetry-plane chaos oracle: with a
+// worker kill plus heartbeats being dropped, duplicated, and re-ordered on
+// their way to the driver, the heartbeat-shipped metric mirrors must still
+// converge to every surviving worker's local values after the timeline heals
+// (VerifyTelemetry). A duplicated heartbeat double-applied, a re-ordered one
+// applied out of ratchet order, or a dropped final value never repaired by a
+// periodic full ship would all surface as a permanent divergence — and the
+// exactly-once oracle must stay green under the same faults.
+func TestChaosTelemetryConvergence(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "telemetry-dup-reorder-kill", Seed: 13, Mode: engine.ModeDrizzle,
+		Workers: 4, Batches: 16, GroupSize: 4, Interval: 40 * time.Millisecond,
+		VerifyTelemetry: true,
+		Rules: []rpc.LinkFault{{
+			To:        "driver",
+			Match:     func(m any) bool { _, ok := m.(core.Heartbeat); return ok },
+			Drop:      0.2,
+			Duplicate: 0.3,
+			Reorder:   0.3,
+		}},
+	}
+	span := time.Duration(sc.Batches) * sc.Interval
+	sc.Events = []Event{
+		{At: span * 35 / 100, Kind: EventKillWorker, Node: "w2"},
+		{At: span * 70 / 100, Kind: EventHealAll},
+	}
+	rep := checkClean(t, sc)
+	if rep.Faults.Dropped == 0 || rep.Faults.Duplicated == 0 || rep.Faults.Reordered == 0 {
+		t.Errorf("heartbeat faults did not all engage: %+v", rep.Faults)
+	}
+	if len(rep.Killed) != 1 {
+		t.Fatalf("expected 1 kill, got %v", rep.Killed)
+	}
+	// The run's history ring must have recorded the mirrored series.
+	dump := rep.history.Dump(time.Now())
+	found := false
+	for k := range dump.Series {
+		if strings.HasPrefix(k, metrics.ClusterPrefix) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("history recorded no mirrored cluster: series (%d series total)", len(dump.Series))
 	}
 }
 

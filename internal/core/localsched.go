@@ -312,6 +312,12 @@ func (ls *LocalScheduler) PendingCount() int {
 	return len(ls.pending)
 }
 
+// QueueDepth reports how many runnable tasks are queued waiting for an
+// executor slot — the saturation signal workers publish in their telemetry
+// gauges (a persistently deep queue means the worker is falling behind its
+// pre-scheduled work).
+func (ls *LocalScheduler) QueueDepth() int { return len(ls.runnable) }
+
 // Close stops the scheduler; queued timers are cancelled. The runnable
 // channel is not closed (executors stop via their own signal) but nothing
 // more will be delivered.

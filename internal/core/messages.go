@@ -114,10 +114,75 @@ type TaskStatus struct {
 	TraceSpan uint64
 }
 
-// Heartbeat is the worker liveness signal.
+// Heartbeat is the worker liveness signal. It doubles as the telemetry
+// shipping vehicle: workers piggyback their metric series so the driver
+// holds the cluster-wide view without a second RPC or poll loop — and the
+// telemetry automatically survives exactly the fault plan heartbeats do.
+//
+// Samples carry absolute values, not increments, so application is
+// idempotent: a duplicated or re-ordered heartbeat cannot double-count.
+// Seq orders ships within an Incarnation (a restarted worker starts a new
+// incarnation, telling the driver to discard the old mirror); the driver
+// ignores any ship at or below the last applied Seq. Ordinary ships carry
+// only series changed since the previous ship; every MetricFullShipEvery-th
+// carries everything, repairing the bounded staleness a dropped heartbeat
+// leaves behind.
 type Heartbeat struct {
 	Worker rpc.NodeID
 	Nanos  int64
+	// Incarnation identifies one worker process lifetime (its start time in
+	// nanos); 0 when the heartbeat carries no telemetry.
+	Incarnation int64
+	// Seq increases by one per telemetry ship within an incarnation.
+	Seq uint64
+	// Full marks a ship carrying the worker's entire series set rather than
+	// just the changed ones.
+	Full      bool
+	Counters  []CounterSample
+	Gauges    []GaugeSample
+	Summaries []SummarySample
+}
+
+// WireSize implements rpc.Sizer: a plain liveness beat is tiny, and each
+// piggybacked sample costs roughly its key string plus a few varints.
+func (h Heartbeat) WireSize() int {
+	n := 24
+	for _, s := range h.Counters {
+		n += len(s.Key) + 10
+	}
+	for _, s := range h.Gauges {
+		n += len(s.Key) + 9
+	}
+	for _, s := range h.Summaries {
+		n += len(s.Key) + 50
+	}
+	return n
+}
+
+// CounterSample ships one counter series: its canonical registry key (as
+// built by metrics.Key, worker label included) and its absolute value.
+type CounterSample struct {
+	Key   string
+	Value int64
+}
+
+// GaugeSample ships one gauge series.
+type GaugeSample struct {
+	Key   string
+	Value float64
+}
+
+// SummarySample ships the digest of one histogram series — workers keep the
+// raw samples and send only the derived percentiles, so a heartbeat's size
+// is independent of how many observations the histogram holds.
+type SummarySample struct {
+	Key   string
+	Count int64
+	Sum   float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
 }
 
 // RegisterWorker is a worker's explicit membership request: sent at

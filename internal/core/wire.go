@@ -310,11 +310,66 @@ func init() {
 		func(dst []byte, msg any) []byte {
 			m := msg.(Heartbeat)
 			dst = wire.AppendString(dst, string(m.Worker))
-			return wire.AppendVarint(dst, m.Nanos)
+			dst = wire.AppendVarint(dst, m.Nanos)
+			dst = wire.AppendVarint(dst, m.Incarnation)
+			dst = wire.AppendUvarint(dst, m.Seq)
+			dst = wire.AppendBool(dst, m.Full)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Counters)))
+			for _, s := range m.Counters {
+				dst = wire.AppendString(dst, s.Key)
+				dst = wire.AppendVarint(dst, s.Value)
+			}
+			dst = wire.AppendUvarint(dst, uint64(len(m.Gauges)))
+			for _, s := range m.Gauges {
+				dst = wire.AppendString(dst, s.Key)
+				dst = wire.AppendFloat64(dst, s.Value)
+			}
+			dst = wire.AppendUvarint(dst, uint64(len(m.Summaries)))
+			for _, s := range m.Summaries {
+				dst = wire.AppendString(dst, s.Key)
+				dst = wire.AppendVarint(dst, s.Count)
+				dst = wire.AppendFloat64(dst, s.Sum)
+				dst = wire.AppendFloat64(dst, s.P50)
+				dst = wire.AppendFloat64(dst, s.P95)
+				dst = wire.AppendFloat64(dst, s.P99)
+				dst = wire.AppendFloat64(dst, s.Max)
+			}
+			return dst
 		},
 		func(b []byte) (any, error) {
 			r := wire.NewReader(b)
-			m := Heartbeat{Worker: rpc.NodeID(r.String()), Nanos: r.Varint()}
+			var m Heartbeat
+			m.Worker = rpc.NodeID(r.String())
+			m.Nanos = r.Varint()
+			m.Incarnation = r.Varint()
+			m.Seq = r.Uvarint()
+			m.Full = r.Bool()
+			if n := r.Count(3); n > 0 {
+				m.Counters = make([]CounterSample, n)
+				for i := range m.Counters {
+					m.Counters[i] = CounterSample{Key: r.String(), Value: r.Varint()}
+				}
+			}
+			if n := r.Count(9); n > 0 {
+				m.Gauges = make([]GaugeSample, n)
+				for i := range m.Gauges {
+					m.Gauges[i] = GaugeSample{Key: r.String(), Value: r.Float64()}
+				}
+			}
+			if n := r.Count(42); n > 0 { // min element: 1B key + 1B count + 5×8B floats
+				m.Summaries = make([]SummarySample, n)
+				for i := range m.Summaries {
+					m.Summaries[i] = SummarySample{
+						Key:   r.String(),
+						Count: r.Varint(),
+						Sum:   r.Float64(),
+						P50:   r.Float64(),
+						P95:   r.Float64(),
+						P99:   r.Float64(),
+						Max:   r.Float64(),
+					}
+				}
+			}
 			return m, r.Done()
 		})
 

@@ -188,6 +188,44 @@ type Config struct {
 	// in-memory networks, where node IDs route directly.
 	AdvertiseAddr string
 
+	// MetricShipEvery ships worker metric samples on every Nth heartbeat
+	// (1 = every heartbeat, the default). Negative disables telemetry
+	// shipping entirely; the heartbeat reverts to a bare liveness beat.
+	MetricShipEvery int
+	// MetricFullShipEvery makes every Nth *ship* carry the worker's entire
+	// series set instead of only series changed since the previous ship.
+	// Full ships bound the staleness a dropped changed-only heartbeat can
+	// leave in the driver's mirror. Default 8.
+	MetricFullShipEvery int
+	// MetricEvictAfter is how long the driver keeps a departed worker's
+	// mirrored series before evicting them from its registry, bounding
+	// label cardinality across join/kill churn. 0 picks 5x HeartbeatTimeout.
+	MetricEvictAfter time.Duration
+	// TelemetryInterval is the driver's time-series history tick: how often
+	// the registry is snapshotted into the per-series ring behind
+	// /timeseriesz and the SLO watcher. 0 picks 5x HeartbeatInterval.
+	TelemetryInterval time.Duration
+	// TelemetryDepth is the ring depth of the driver's history (how many
+	// ticks each series retains). 0 picks metrics.DefaultHistoryDepth.
+	TelemetryDepth int
+
+	// SLOLatencyFactor flags a latency_slo_breach when per-batch latency
+	// sustains above this multiple of the job's window interval. Default 2.
+	SLOLatencyFactor float64
+	// SLOQueueDepthMax flags worker_saturated when a worker's shipped queue
+	// depth sustains at or above this many tasks. Default 2x SlotsPerWorker.
+	SLOQueueDepthMax int
+	// SLOSustainTicks is how many consecutive history ticks a condition
+	// must hold before the watcher raises it — one-tick spikes are noise.
+	// Default 3.
+	SLOSustainTicks int
+	// SLOMinBacklog is the backlog (batches behind wall clock) below which
+	// backlog_growing is never raised. Default 2x GroupSize.
+	SLOMinBacklog int
+	// SLOCooldown rate-limits repeated emission of the same SLO event kind.
+	// 0 picks 10x TelemetryInterval.
+	SLOCooldown time.Duration
+
 	// Costs emulates driver-side scheduling costs.
 	Costs CostModel
 
@@ -277,6 +315,36 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoverWait <= 0 {
 		c.RecoverWait = 2 * c.HeartbeatTimeout
+	}
+	if c.MetricShipEvery == 0 {
+		c.MetricShipEvery = 1
+	}
+	if c.MetricFullShipEvery <= 0 {
+		c.MetricFullShipEvery = 8
+	}
+	if c.MetricEvictAfter <= 0 {
+		c.MetricEvictAfter = 5 * c.HeartbeatTimeout
+	}
+	if c.TelemetryInterval <= 0 {
+		c.TelemetryInterval = 5 * c.HeartbeatInterval
+	}
+	if c.TelemetryDepth <= 0 {
+		c.TelemetryDepth = metrics.DefaultHistoryDepth
+	}
+	if c.SLOLatencyFactor <= 1 {
+		c.SLOLatencyFactor = 2.0
+	}
+	if c.SLOQueueDepthMax <= 0 {
+		c.SLOQueueDepthMax = 2 * c.SlotsPerWorker
+	}
+	if c.SLOSustainTicks <= 0 {
+		c.SLOSustainTicks = 3
+	}
+	if c.SLOMinBacklog <= 0 {
+		c.SLOMinBacklog = 2 * c.GroupSize
+	}
+	if c.SLOCooldown <= 0 {
+		c.SLOCooldown = 10 * c.TelemetryInterval
 	}
 	if c.Logger == nil {
 		c.Logger = obs.Default()

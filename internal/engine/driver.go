@@ -31,6 +31,13 @@ type Driver struct {
 	log  *slog.Logger
 	m    driverMetrics
 
+	// Telemetry plane: ingest mirrors heartbeat-shipped worker series into
+	// the registry, history rings every series for /timeseriesz and the SLO
+	// watcher, slo turns sustained ring conditions into events.
+	ingest  *metricIngest
+	history *metrics.History
+	slo     *sloWatcher
+
 	mu        sync.Mutex
 	workers   map[rpc.NodeID]*workerState
 	addrs     map[rpc.NodeID]string
@@ -128,6 +135,7 @@ func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptSt
 		ckptStore = checkpoint.NewMemStore()
 	}
 	cfg = cfg.withDefaults()
+	history := metrics.NewHistory(cfg.Metrics, cfg.TelemetryDepth)
 	return &Driver{
 		id:       id,
 		net:      net,
@@ -136,6 +144,9 @@ func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptSt
 		ckpt:     ckptStore,
 		log:      obs.Component(cfg.Logger, "driver").With("node", string(id)),
 		m:        newDriverMetrics(cfg.Metrics),
+		ingest:   newMetricIngest(cfg.Metrics),
+		history:  history,
+		slo:      newSLOWatcher(cfg, cfg.Metrics, history, cfg.Logger),
 		workers:  make(map[rpc.NodeID]*workerState),
 		addrs:    make(map[rpc.NodeID]string),
 		health:   newHealthTracker(cfg),
@@ -144,6 +155,13 @@ func NewDriver(id rpc.NodeID, net rpc.Network, reg *Registry, cfg Config, ckptSt
 		stop:     make(chan struct{}),
 	}
 }
+
+// History exposes the driver's time-series ring (the /timeseriesz source).
+func (d *Driver) History() *metrics.History { return d.history }
+
+// SLOEvents returns the backlog/SLO watcher's recorded events, oldest
+// first — the Monitor-phase feed for scaling and scheduling policies.
+func (d *Driver) SLOEvents() []SLOEvent { return d.slo.Events() }
 
 // WorkerHealth returns the driver's current per-worker health snapshot.
 func (d *Driver) WorkerHealth() map[rpc.NodeID]WorkerHealthInfo {
@@ -177,6 +195,7 @@ func (d *Driver) Start() error {
 	}
 	d.wg.Add(1)
 	go d.monitor()
+	d.history.Start(d.cfg.TelemetryInterval)
 	return nil
 }
 
@@ -184,6 +203,7 @@ func (d *Driver) Start() error {
 func (d *Driver) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
 	d.wg.Wait()
+	d.history.Stop()
 }
 
 // AddWorker admits a worker. Before a run it joins immediately; during a
@@ -270,11 +290,13 @@ func (d *Driver) liveLocked() []rpc.NodeID {
 func (d *Driver) handle(from rpc.NodeID, msg any) {
 	switch m := msg.(type) {
 	case core.Heartbeat:
+		now := time.Now()
 		d.mu.Lock()
 		if ws, ok := d.workers[m.Worker]; ok && ws.alive {
-			ws.lastHeartbeat = time.Now()
+			ws.lastHeartbeat = now
 		}
 		d.mu.Unlock()
+		d.ingest.apply(m, now)
 	case core.RegisterWorker:
 		// Idempotent: AddWorkerAddr ignores workers already alive or
 		// pending. This is how a restarted driver relearns its cluster —
@@ -330,6 +352,10 @@ func (d *Driver) monitor() {
 				default:
 				}
 			}
+			if n := d.ingest.sweep(now, d.cfg.MetricEvictAfter); n > 0 {
+				d.log.Info("evicted departed workers' telemetry", "series", n)
+			}
+			d.slo.evaluate(now)
 		}
 	}
 }
@@ -515,6 +541,10 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 		tuner.InstrumentMetrics(d.cfg.Metrics)
 	}
 
+	d.slo.setInterval(job.Interval)
+	mLatency := d.cfg.Metrics.Gauge(latencyGaugeName)
+	mBacklog := d.cfg.Metrics.Gauge(backlogGaugeName)
+
 	wallStart := time.Now()
 	groupSeq := int64(0)
 	for b := resumeFrom; b < rs.numBatches; {
@@ -556,6 +586,21 @@ func (d *Driver) Run(jobName string, numBatches int) (*RunStats, error) {
 
 		b += core.BatchID(g)
 		groupSeq++
+		// SLO inputs, refreshed at each group boundary: how long one batch
+		// took versus the window interval, and how many wall-clock-closed
+		// batches are not yet committed (the backlog the stream is behind).
+		mLatency.Set(float64(coord+exec) / float64(g) / float64(time.Millisecond))
+		if job.Interval > 0 {
+			expected := (time.Now().UnixNano() - rs.planner.StartNanos) / int64(job.Interval)
+			if max := int64(rs.numBatches); expected > max {
+				expected = max
+			}
+			backlog := expected - int64(b)
+			if backlog < 0 {
+				backlog = 0
+			}
+			mBacklog.Set(float64(backlog))
+		}
 		// A committed group proves the worker status path is flowing again;
 		// drop back to the configured stall interval if recovery tightened it.
 		rs.stallEvery = d.cfg.StallResend

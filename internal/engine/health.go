@@ -74,8 +74,9 @@ type workerHealth struct {
 	// until it proves itself with a streak of successes; without the hold a
 	// strike-blacklisted worker (wiped strikes) would jump straight back to
 	// full weight.
-	probation bool
-	gauge     *metrics.Gauge
+	probation  bool
+	gauge      *metrics.Gauge
+	stateGauge *metrics.Gauge
 }
 
 // WorkerHealthInfo is an externally visible snapshot of one worker's health.
@@ -114,6 +115,10 @@ func (h *healthTracker) getLocked(id rpc.NodeID) *workerHealth {
 		wh = &workerHealth{
 			ewma:  metrics.NewEWMA(healthEWMAAlpha),
 			gauge: h.cfg.Metrics.Gauge("drizzle_worker_health_score", "worker", string(id)),
+			// The weight class as a number (0 healthy / 1 degraded /
+			// 2 blacklisted) so dashboards and drizzle-top get the
+			// classification, not just the raw score.
+			stateGauge: h.cfg.Metrics.Gauge("drizzle_worker_health_state", "worker", string(id)),
 		}
 		h.workers[id] = wh
 	}
@@ -242,6 +247,7 @@ func (h *healthTracker) reclassifyLocked(now time.Time) {
 		default:
 			wh.state = WorkerHealthy
 		}
+		wh.stateGauge.Set(float64(wh.state))
 	}
 }
 

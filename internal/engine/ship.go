@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"drizzle/internal/core"
+	"drizzle/internal/metrics"
+	"drizzle/internal/rpc"
+)
+
+// Metric shipping: the worker half (metricShipper) piggybacks the worker's
+// registry series on heartbeats; the driver half (metricIngest) merges them
+// into the driver's registry under the metrics.ClusterPrefix family prefix.
+// Together they give one process — the driver — the cluster-wide view,
+// with the same delivery guarantees heartbeats already have.
+//
+// The protocol is set-oriented, not increment-oriented: every sample
+// carries the series' absolute value, so applying a ship twice is a no-op
+// and applying ships out of order is prevented by a per-incarnation
+// sequence number. Ordinary ships carry only series that changed since the
+// last ship ("delta-encoded" in the sense of which series travel, not
+// which values); every fullEvery-th ship carries everything, bounding the
+// staleness window a dropped heartbeat can leave behind.
+
+// metricShipper assembles a worker's telemetry payload. Not safe for
+// concurrent use; the heartbeat loop is its only caller.
+type metricShipper struct {
+	reg         *metrics.Registry
+	worker      string
+	incarnation int64
+	fullEvery   int
+	seq         uint64
+
+	lastCounters  map[string]int64
+	lastGauges    map[string]float64
+	lastSummaries map[string]metrics.HistogramStats
+}
+
+func newMetricShipper(reg *metrics.Registry, worker rpc.NodeID, incarnation int64, fullEvery int) *metricShipper {
+	if fullEvery <= 0 {
+		fullEvery = 1
+	}
+	return &metricShipper{
+		reg:           reg,
+		worker:        string(worker),
+		incarnation:   incarnation,
+		fullEvery:     fullEvery,
+		lastCounters:  make(map[string]int64),
+		lastGauges:    make(map[string]float64),
+		lastSummaries: make(map[string]metrics.HistogramStats),
+	}
+}
+
+// owns reports whether a series belongs to this worker. In-process
+// clusters (tests, chaos) share one registry between the driver and every
+// worker, so shipping is filtered to series labeled worker="<id>" — w0
+// must never ship w1's series or the driver's own.
+func (s *metricShipper) owns(key string) bool {
+	w, ok := metrics.LabelValue(key, "worker")
+	return ok && w == s.worker && !strings.HasPrefix(key, metrics.ClusterPrefix)
+}
+
+// collect stamps hb with the next telemetry ship: sequence bookkeeping
+// plus every owned series (full ship) or every owned series whose value
+// changed since the previous collect. The first ship of an incarnation is
+// always full.
+func (s *metricShipper) collect(hb *core.Heartbeat) {
+	full := s.seq%uint64(s.fullEvery) == 0
+	s.seq++
+	hb.Incarnation = s.incarnation
+	hb.Seq = s.seq
+	hb.Full = full
+
+	snap := s.reg.Snapshot()
+	for k, v := range snap.Counters {
+		if !s.owns(k) {
+			continue
+		}
+		if full || s.lastCounters[k] != v {
+			hb.Counters = append(hb.Counters, core.CounterSample{Key: k, Value: v})
+			s.lastCounters[k] = v
+		}
+	}
+	for k, v := range snap.Gauges {
+		if !s.owns(k) {
+			continue
+		}
+		if full || s.lastGauges[k] != v {
+			hb.Gauges = append(hb.Gauges, core.GaugeSample{Key: k, Value: v})
+			s.lastGauges[k] = v
+		}
+	}
+	for k, st := range snap.Histograms {
+		if !s.owns(k) {
+			continue
+		}
+		if full || s.lastSummaries[k] != st {
+			hb.Summaries = append(hb.Summaries, core.SummarySample{
+				Key: k, Count: int64(st.Count), Sum: st.Sum,
+				P50: st.P50, P95: st.P95, P99: st.P99, Max: st.Max,
+			})
+			s.lastSummaries[k] = st
+		}
+	}
+}
+
+// workerMirror is the driver's bookkeeping for one worker's shipped series.
+type workerMirror struct {
+	incarnation int64
+	seq         uint64
+	lastApplied time.Time
+	keys        map[string]struct{} // merged registry keys, for eviction
+}
+
+// metricIngest merges shipped samples into the driver's registry. Safe for
+// concurrent use (heartbeats arrive on the transport goroutine, eviction
+// runs on the monitor tick).
+type metricIngest struct {
+	reg *metrics.Registry
+
+	mu      sync.Mutex
+	workers map[rpc.NodeID]*workerMirror
+}
+
+func newMetricIngest(reg *metrics.Registry) *metricIngest {
+	return &metricIngest{reg: reg, workers: make(map[rpc.NodeID]*workerMirror)}
+}
+
+// apply merges one heartbeat's telemetry. It returns false — changing
+// nothing — for heartbeats with no telemetry, from a superseded
+// incarnation, or at/below the last applied sequence number (duplicates
+// and reorders; values are absolute so skipping them loses nothing a later
+// ship won't carry).
+func (in *metricIngest) apply(hb core.Heartbeat, now time.Time) bool {
+	if hb.Incarnation == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := in.workers[hb.Worker]
+	if m == nil {
+		m = &workerMirror{keys: make(map[string]struct{})}
+		in.workers[hb.Worker] = m
+	}
+	switch {
+	case hb.Incarnation < m.incarnation:
+		return false // ship from a previous worker process, outdated by definition
+	case hb.Incarnation > m.incarnation:
+		// Worker restarted: its counters restarted from zero too. The stale
+		// mirror keys stay registered (same names, first full ship resets
+		// the values) but the sequence ratchet starts over.
+		m.incarnation, m.seq = hb.Incarnation, 0
+	}
+	if hb.Seq <= m.seq {
+		return false
+	}
+	m.seq = hb.Seq
+	m.lastApplied = now
+
+	sender := string(hb.Worker)
+	for _, s := range hb.Counters {
+		if w, ok := metrics.LabelValue(s.Key, "worker"); !ok || w != sender {
+			continue // a worker may only ship its own series
+		}
+		k := metrics.ClusterPrefix + s.Key
+		in.reg.CounterAt(k).Store(s.Value)
+		m.keys[k] = struct{}{}
+	}
+	for _, s := range hb.Gauges {
+		if w, ok := metrics.LabelValue(s.Key, "worker"); !ok || w != sender {
+			continue
+		}
+		k := metrics.ClusterPrefix + s.Key
+		in.reg.GaugeAt(k).Set(s.Value)
+		m.keys[k] = struct{}{}
+	}
+	for _, s := range hb.Summaries {
+		if w, ok := metrics.LabelValue(s.Key, "worker"); !ok || w != sender {
+			continue
+		}
+		k := metrics.ClusterPrefix + s.Key
+		in.reg.SummaryAt(k).Set(metrics.HistogramStats{
+			Count: int(s.Count), Sum: s.Sum,
+			Mean: mean(s.Sum, s.Count),
+			P50:  s.P50, P95: s.P95, P99: s.P99, Max: s.Max,
+		})
+		m.keys[k] = struct{}{}
+	}
+	return true
+}
+
+func mean(sum float64, count int64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// sweep evicts the mirrored series of every worker that has shipped
+// nothing for longer than ttl, bounding per-worker label cardinality
+// across join/kill churn. It returns how many registry series were
+// dropped.
+func (in *metricIngest) sweep(now time.Time, ttl time.Duration) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	dropped := 0
+	for w, m := range in.workers {
+		if now.Sub(m.lastApplied) <= ttl {
+			continue
+		}
+		keys := m.keys
+		dropped += in.reg.Evict(func(key string) bool {
+			_, ok := keys[key]
+			return ok
+		})
+		delete(in.workers, w)
+	}
+	return dropped
+}
+
+// mirrored reports how many workers currently have live mirrors (tests).
+func (in *metricIngest) mirrored() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.workers)
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"drizzle/internal/core"
+	"drizzle/internal/metrics"
+	"drizzle/internal/rpc"
+)
+
+func TestMetricShipperChangedOnly(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c0 := reg.Counter("drizzle_worker_tasks_ok_total", "worker", "w0")
+	reg.Counter("drizzle_worker_tasks_ok_total", "worker", "w1").Add(99) // other worker: never ships
+	g0 := reg.Gauge("drizzle_worker_queue_depth", "worker", "w0")
+	h0 := reg.Histogram("drizzle_worker_task_run_ms", "worker", "w0")
+	reg.Counter("drizzle_driver_groups_total").Inc() // unlabeled: never ships
+	// A mirrored series must not be re-shipped even though it carries the
+	// worker label (shared-registry clusters would echo forever otherwise).
+	reg.CounterAt(metrics.ClusterPrefix + metrics.Key("x_total", "worker", "w0")).Inc()
+
+	c0.Add(3)
+	g0.Set(2)
+	h0.ObserveMillis(10)
+
+	s := newMetricShipper(reg, "w0", 7, 4)
+	var hb core.Heartbeat
+	s.collect(&hb)
+	if hb.Incarnation != 7 || hb.Seq != 1 || !hb.Full {
+		t.Fatalf("first ship header = %+v, want full seq 1", hb)
+	}
+	if len(hb.Counters) != 1 || hb.Counters[0].Value != 3 {
+		t.Fatalf("counters = %+v, want only w0's tasks_ok at 3", hb.Counters)
+	}
+	if len(hb.Gauges) != 1 || hb.Gauges[0].Value != 2 {
+		t.Fatalf("gauges = %+v", hb.Gauges)
+	}
+	if len(hb.Summaries) != 1 || hb.Summaries[0].Count != 1 || hb.Summaries[0].P50 != 10 {
+		t.Fatalf("summaries = %+v", hb.Summaries)
+	}
+
+	// Nothing changed: the next ship carries headers only.
+	hb = core.Heartbeat{}
+	s.collect(&hb)
+	if hb.Full || hb.Seq != 2 || len(hb.Counters)+len(hb.Gauges)+len(hb.Summaries) != 0 {
+		t.Fatalf("idle ship not empty: %+v", hb)
+	}
+
+	// One counter changed: only it travels.
+	c0.Inc()
+	hb = core.Heartbeat{}
+	s.collect(&hb)
+	if len(hb.Counters) != 1 || hb.Counters[0].Value != 4 || len(hb.Gauges) != 0 {
+		t.Fatalf("changed-only ship = %+v", hb)
+	}
+
+	// Ship 5 (seq%4==0 at seq 4... seq counts from 1, full when (seq-1)%4==0):
+	// collect until the next full ship and check everything travels again.
+	hb = core.Heartbeat{}
+	s.collect(&hb) // seq 4
+	hb = core.Heartbeat{}
+	s.collect(&hb) // seq 5 → full again
+	if !hb.Full || len(hb.Counters) != 1 || len(hb.Gauges) != 1 || len(hb.Summaries) != 1 {
+		t.Fatalf("periodic full ship = %+v", hb)
+	}
+}
+
+// BenchmarkMetricShipCollect is the worker-side cost of one telemetry ship:
+// snapshotting the registry, filtering to owned series, and building the
+// changed-only delta. It runs against a registry shaped like a busy worker
+// (a dozen owned series among driver-side noise) in the steady state where
+// one counter and one gauge changed since the last beat.
+func BenchmarkMetricShipCollect(b *testing.B) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("drizzle_worker_tasks_ok_total", "worker", "w0")
+	g := reg.Gauge("drizzle_worker_queue_depth", "worker", "w0")
+	h := reg.Histogram("drizzle_worker_task_run_ms", "worker", "w0")
+	for i := 0; i < 8; i++ {
+		reg.Counter("drizzle_worker_shuffle_fetches_total", "worker", "w0", "peer", string(rune('a'+i))).Add(int64(i))
+	}
+	for i := 0; i < 20; i++ {
+		reg.Counter("drizzle_driver_noise_total", "n", string(rune('a'+i))).Inc()
+	}
+	h.ObserveMillis(3)
+	s := newMetricShipper(reg, "w0", 1, 8)
+	var hb core.Heartbeat
+	s.collect(&hb) // first full ship outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		hb = core.Heartbeat{}
+		s.collect(&hb)
+	}
+}
+
+func TestMetricIngestIdempotentUnderDupAndReorder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := newMetricIngest(reg)
+	key := metrics.Key("drizzle_worker_tasks_ok_total", "worker", "w0")
+	mirror := metrics.ClusterPrefix + key
+	ship := func(seq uint64, inc int64, v int64) bool {
+		return in.apply(core.Heartbeat{
+			Worker: "w0", Incarnation: inc, Seq: seq,
+			Counters: []core.CounterSample{{Key: key, Value: v}},
+		}, time.Now())
+	}
+
+	if !ship(1, 100, 5) {
+		t.Fatal("first ship rejected")
+	}
+	if got := reg.CounterAt(mirror).Value(); got != 5 {
+		t.Fatalf("mirror = %d, want 5", got)
+	}
+	if ship(1, 100, 5) {
+		t.Fatal("duplicate seq applied")
+	}
+	if !ship(3, 100, 9) {
+		t.Fatal("seq 3 rejected")
+	}
+	if ship(2, 100, 7) {
+		t.Fatal("reordered older seq applied")
+	}
+	if got := reg.CounterAt(mirror).Value(); got != 9 {
+		t.Fatalf("mirror after reorder = %d, want 9", got)
+	}
+
+	// Heartbeats from a previous incarnation are outdated by definition.
+	if ship(50, 99, 1000) {
+		t.Fatal("old-incarnation ship applied")
+	}
+	// A new incarnation restarts the seq ratchet at whatever it sends.
+	if !ship(1, 101, 2) {
+		t.Fatal("new-incarnation ship rejected")
+	}
+	if got := reg.CounterAt(mirror).Value(); got != 2 {
+		t.Fatalf("mirror after restart = %d, want 2", got)
+	}
+	// Bare liveness beats (no telemetry) are ignored.
+	if in.apply(core.Heartbeat{Worker: "w0", Nanos: 1}, time.Now()) {
+		t.Fatal("bare heartbeat treated as telemetry")
+	}
+}
+
+func TestMetricIngestRejectsSpoofedSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := newMetricIngest(reg)
+	other := metrics.Key("drizzle_worker_tasks_ok_total", "worker", "w1")
+	unlabeled := "drizzle_driver_groups_total"
+	in.apply(core.Heartbeat{
+		Worker: "w0", Incarnation: 1, Seq: 1,
+		Counters: []core.CounterSample{{Key: other, Value: 10}, {Key: unlabeled, Value: 10}},
+		Gauges:   []core.GaugeSample{{Key: other, Value: 10}},
+		Summaries: []core.SummarySample{
+			{Key: other, Count: 1}, {Key: metrics.Key("x_ms", "worker", "w0"), Count: 3},
+		},
+	}, time.Now())
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Fatalf("spoofed series merged: %+v %+v", snap.Counters, snap.Gauges)
+	}
+	if got := snap.Histograms[metrics.ClusterPrefix+metrics.Key("x_ms", "worker", "w0")]; got.Count != 3 {
+		t.Fatalf("legitimate summary not merged: %+v", snap.Histograms)
+	}
+}
+
+func TestMetricIngestSweepEvictsDepartedWorkers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := newMetricIngest(reg)
+	base := time.Unix(100, 0)
+	for i, w := range []string{"w0", "w1"} {
+		in.apply(core.Heartbeat{
+			Worker: rpc.NodeID(w), Incarnation: 1, Seq: 1,
+			Counters: []core.CounterSample{{Key: metrics.Key("t_total", "worker", w), Value: int64(i)}},
+			Gauges:   []core.GaugeSample{{Key: metrics.Key("q", "worker", w), Value: 1}},
+		}, base)
+	}
+	// w1 keeps shipping; w0 goes silent.
+	in.apply(core.Heartbeat{
+		Worker: "w1", Incarnation: 1, Seq: 2,
+		Counters: []core.CounterSample{{Key: metrics.Key("t_total", "worker", "w1"), Value: 5}},
+	}, base.Add(900*time.Millisecond))
+
+	if n := in.sweep(base.Add(time.Second), 2*time.Second); n != 0 {
+		t.Fatalf("sweep before ttl evicted %d series", n)
+	}
+	n := in.sweep(base.Add(2500*time.Millisecond), 2*time.Second)
+	if n != 2 {
+		t.Fatalf("sweep evicted %d series, want w0's 2", n)
+	}
+	if in.mirrored() != 1 {
+		t.Fatalf("mirrors after sweep = %d, want 1", in.mirrored())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metrics.ClusterPrefix+metrics.Key("t_total", "worker", "w0")] != 0 ||
+		len(snap.Counters) != 1 {
+		t.Fatalf("w0 series survived sweep: %+v", snap.Counters)
+	}
+	if snap.Counters[metrics.ClusterPrefix+metrics.Key("t_total", "worker", "w1")] != 5 {
+		t.Fatalf("w1 series lost: %+v", snap.Counters)
+	}
+}

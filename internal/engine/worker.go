@@ -55,6 +55,12 @@ type Worker struct {
 	mTasksOK     *metrics.Counter
 	mTasksFailed *metrics.Counter
 	mFetchDrop   *metrics.Counter
+	// Telemetry series shipped to the driver on heartbeats: queue/pending
+	// gauges refreshed each beat, task run-time histogram observed per task.
+	mQueueDepth *metrics.Gauge
+	mPending    *metrics.Gauge
+	mRunMS      *metrics.Histogram
+	shipper     *metricShipper
 
 	// fetchQ feeds the shuffle serve pool: block serving runs on dedicated
 	// goroutines instead of the transport's delivery goroutine, so a slow
@@ -99,6 +105,9 @@ func NewWorker(id, driver rpc.NodeID, net rpc.Network, reg *Registry, cfg Config
 		mTasksOK:     cfg.Metrics.Counter("drizzle_worker_tasks_ok_total", "worker", string(id)),
 		mTasksFailed: cfg.Metrics.Counter("drizzle_worker_tasks_failed_total", "worker", string(id)),
 		mFetchDrop:   cfg.Metrics.Counter("drizzle_worker_fetch_dropped_total", "worker", string(id)),
+		mQueueDepth:  cfg.Metrics.Gauge("drizzle_worker_queue_depth", "worker", string(id)),
+		mPending:     cfg.Metrics.Gauge("drizzle_worker_pending_tasks", "worker", string(id)),
+		mRunMS:       cfg.Metrics.Histogram("drizzle_worker_task_run_ms", "worker", string(id)),
 	}
 	send := func(to rpc.NodeID, msg any) error { return net.Send(id, to, msg) }
 	w.store.InstrumentMetrics(cfg.Metrics, string(id))
@@ -129,6 +138,11 @@ func (w *Worker) Start() error {
 	w.lastDriver = time.Now()
 	w.lastRegister = time.Now()
 	w.mu.Unlock()
+	if w.cfg.MetricShipEvery > 0 {
+		// The incarnation (process start time) lets the driver tell a
+		// restarted worker's fresh counters from stale ships of its past life.
+		w.shipper = newMetricShipper(w.cfg.Metrics, w.id, time.Now().UnixNano(), w.cfg.MetricFullShipEvery)
+	}
 	w.send(w.driver, core.RegisterWorker{Worker: w.id, Addr: w.cfg.AdvertiseAddr})
 	w.wg.Add(1)
 	go w.heartbeatLoop()
@@ -168,12 +182,22 @@ func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	t := time.NewTicker(w.cfg.HeartbeatInterval)
 	defer t.Stop()
+	beats := 0
 	for {
 		select {
 		case <-w.stop:
 			return
 		case now := <-t.C:
-			w.send(w.driver, core.Heartbeat{Worker: w.id, Nanos: now.UnixNano()})
+			// Refresh the saturation gauges right before shipping so the
+			// driver's mirror is at most one beat stale.
+			w.mQueueDepth.Set(float64(w.ls.QueueDepth()))
+			w.mPending.Set(float64(w.ls.PendingCount()))
+			hb := core.Heartbeat{Worker: w.id, Nanos: now.UnixNano()}
+			if w.shipper != nil && beats%w.cfg.MetricShipEvery == 0 {
+				w.shipper.collect(&hb)
+			}
+			beats++
+			w.send(w.driver, hb)
 			// Driver silence past the threshold suggests it restarted and
 			// no longer knows us (a live driver sends at least membership
 			// and launches); re-register until it speaks again. The TCP
@@ -459,6 +483,7 @@ func (w *Worker) runTask(rt core.RunnableTask) {
 		w.killedCnt.Inc()
 		return
 	}
+	w.mRunMS.Observe(time.Since(start))
 	if err == nil {
 		w.mTasksOK.Inc()
 	} else {

@@ -21,6 +21,12 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Store replaces the count wholesale. It exists for mirrored series — the
+// driver's metric-shipping ingest sets a worker's cumulative value as
+// shipped, making application idempotent under duplicated or re-ordered
+// heartbeats. Locally incremented counters should never be Stored.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Gauge is a thread-safe instantaneous value (a level, not a count). The
 // driver's worker-health tracker publishes one per worker so experiments
 // and operators can watch health scores move as stragglers are detected.

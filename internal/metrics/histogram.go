@@ -126,6 +126,37 @@ func (h *Histogram) Max() float64 { return h.Quantile(1) }
 // Min returns the smallest sample in milliseconds, or 0 if empty.
 func (h *Histogram) Min() float64 { return h.Quantile(0) }
 
+// Stats digests the histogram (count, sum, mean, quantiles, max) in a
+// single lock acquisition — the form snapshots, the history ring, and the
+// metric shipper consume. Steady-state cost is one in-place sort after new
+// samples; no allocation.
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return HistogramStats{}
+	}
+	h.ensureSortedLocked()
+	q := func(f float64) float64 {
+		idx := int(math.Ceil(f*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return h.samples[idx]
+	}
+	sum := h.sumLocked()
+	return HistogramStats{
+		Count: n,
+		Sum:   sum,
+		Mean:  sum / float64(n),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   h.samples[n-1],
+	}
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	Millis   float64 // latency value

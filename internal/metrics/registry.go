@@ -22,18 +22,20 @@ import (
 // but unregistered instrument, which lets instrumentation sites run
 // unconditionally whether or not the process wired up a registry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	summaries map[string]*Summary
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		summaries: make(map[string]*Summary),
 	}
 }
 
@@ -74,6 +76,42 @@ func splitKey(key string) (family, labels string) {
 		return key[:i], key[i:]
 	}
 	return key, ""
+}
+
+// Family returns the metric family name of a canonical series key (the part
+// before any label braces).
+func Family(key string) string {
+	f, _ := splitKey(key)
+	return f
+}
+
+// LabelValue extracts one label's value from a canonical series key, e.g.
+// LabelValue(`x{worker="w1"}`, "worker") → ("w1", true). Consumers of merged
+// cluster series (the heartbeat ingest, drizzle-top) use it to group series
+// by worker without re-parsing label bodies themselves.
+func LabelValue(key, label string) (string, bool) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return "", false
+	}
+	body := key[i+1 : len(key)-1]
+	for body != "" {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return "", false
+		}
+		k := body[:eq]
+		rest := body[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			return "", false
+		}
+		if k == label {
+			return rest[:end], true
+		}
+		body = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	return "", false
 }
 
 // Counter returns (registering on first use) the counter for name+labels.
@@ -142,6 +180,142 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return h
 }
 
+// Summary is a histogram digest set wholesale rather than built sample by
+// sample — the registry-side mirror of a histogram whose raw samples live
+// in another process. The driver's heartbeat ingest stores each worker's
+// shipped percentile digests here; snapshots and Prometheus output render
+// them exactly like local histograms.
+type Summary struct {
+	mu sync.Mutex
+	s  HistogramStats
+}
+
+// Set replaces the digest.
+func (s *Summary) Set(v HistogramStats) {
+	s.mu.Lock()
+	s.s = v
+	s.mu.Unlock()
+}
+
+// Stats returns the current digest.
+func (s *Summary) Stats() HistogramStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s
+}
+
+// Summary returns (registering on first use) the summary for name+labels.
+func (r *Registry) Summary(name string, labels ...string) *Summary {
+	if r == nil {
+		return &Summary{}
+	}
+	return r.SummaryAt(Key(name, labels...))
+}
+
+// CounterAt, GaugeAt and SummaryAt look instruments up by an
+// already-canonical series key (as produced by Key), registering on first
+// use. The metric-shipping ingest uses them: shipped samples arrive keyed,
+// and rebuilding keys from parsed labels would only round-trip the string.
+func (r *Registry) CounterAt(key string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// GaugeAt is CounterAt for gauges.
+func (r *Registry) GaugeAt(key string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// SummaryAt is CounterAt for summaries.
+func (r *Registry) SummaryAt(key string) *Summary {
+	if r == nil {
+		return &Summary{}
+	}
+	r.mu.RLock()
+	s := r.summaries[key]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.summaries[key]; s == nil {
+		s = &Summary{}
+		r.summaries[key] = s
+	}
+	return s
+}
+
+// Evict removes every series whose canonical key satisfies match, across
+// all instrument kinds, and reports how many were dropped. It exists to
+// bound label cardinality: series merged from a departed worker's
+// heartbeats would otherwise live forever, and a chaos run with many
+// join/kill cycles would grow the registry without bound. Instrument
+// pointers handed out earlier keep working — they are simply no longer
+// reachable through the registry.
+func (r *Registry) Evict(match func(key string) bool) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k := range r.counters {
+		if match(k) {
+			delete(r.counters, k)
+			n++
+		}
+	}
+	for k := range r.gauges {
+		if match(k) {
+			delete(r.gauges, k)
+			n++
+		}
+	}
+	for k := range r.hists {
+		if match(k) {
+			delete(r.hists, k)
+			n++
+		}
+	}
+	for k := range r.summaries {
+		if match(k) {
+			delete(r.summaries, k)
+			n++
+		}
+	}
+	return n
+}
+
 // HistogramStats summarizes one histogram for snapshots and JSON output.
 type HistogramStats struct {
 	Count int     `json:"count"`
@@ -181,15 +355,14 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = g.Value()
 	}
 	for k, h := range r.hists {
-		s.Histograms[k] = HistogramStats{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Mean:  h.Mean(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
-			Max:   h.Max(),
-		}
+		s.Histograms[k] = h.Stats()
+	}
+	// Summaries are digests of remote histograms; a snapshot renders them in
+	// the same map so /metricsz and Prometheus output need no fourth kind.
+	// Key collisions cannot arise: merged series live under the "cluster:"
+	// family prefix the ingest applies.
+	for k, sm := range r.summaries {
+		s.Histograms[k] = sm.Stats()
 	}
 	return s
 }

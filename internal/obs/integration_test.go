@@ -62,6 +62,20 @@ func integrationJob(sink dag.SinkFunc) *dag.Job {
 	}
 }
 
+func healthGet(t *testing.T, base string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET /healthz: read body: %v", err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(body))
+}
+
 func httpGet(t *testing.T, url string) []byte {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -83,19 +97,14 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	registry := metrics.NewRegistry()
 	tracer := trace.New("cluster", trace.DefaultCapacity)
 
-	srv, err := obs.Serve("127.0.0.1:0", registry, tracer)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	base := "http://" + srv.Addr()
-
 	cfg := engine.DefaultConfig()
 	cfg.GroupSize = 2
 	cfg.CheckpointEvery = 1
 	cfg.Metrics = registry
 	cfg.Tracer = tracer
 	cfg.Logger = obs.Discard()
+	cfg.HeartbeatInterval = 20 * time.Millisecond
+	cfg.TelemetryInterval = 10 * time.Millisecond
 
 	net := rpc.NewInMemNetwork(rpc.InMemConfig{})
 	defer net.Close()
@@ -104,6 +113,23 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	driver := engine.NewDriver("driver", net, reg, cfg, nil)
+
+	health := obs.NewHealth()
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{
+		Registry: registry, Tracer: tracer,
+		History: driver.History(), Health: health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Readiness: 503 while starting, 200 once serving, 503 draining.
+	if code, body := healthGet(t, base); code != http.StatusServiceUnavailable || body != "starting" {
+		t.Fatalf("/healthz before serving = %d %q", code, body)
+	}
+
 	if err := driver.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +143,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		driver.AddWorker(id)
 	}
 
+	health.SetServing()
+	if code, body := healthGet(t, base); code != http.StatusOK || body != "serving" {
+		t.Fatalf("/healthz while serving = %d %q", code, body)
+	}
+
 	stats, err := driver.Run("obs-integration", 8)
 	if err != nil {
 		t.Fatal(err)
@@ -124,6 +155,42 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if stats.Batches != 8 {
 		t.Fatalf("expected 8 batches, ran %d", stats.Batches)
 	}
+
+	// Heartbeat-shipped telemetry: the driver mirrors worker series under the
+	// cluster: prefix. Workers keep heartbeating after the run, so poll.
+	mirrorKey := metrics.ClusterPrefix + metrics.Key("drizzle_worker_tasks_ok_total", "worker", "w0")
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var s metrics.Snapshot
+		if err := json.Unmarshal(httpGet(t, base+"/metricsz"), &s); err != nil {
+			t.Fatalf("/metricsz unparseable: %v", err)
+		}
+		if s.Counters[mirrorKey] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirrored series %q never appeared; counters: %v", mirrorKey, s.Counters)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// /timeseriesz serves the driver's history ring with windows and rates.
+	var dump metrics.HistoryDump
+	if err := json.Unmarshal(httpGet(t, base+"/timeseriesz"), &dump); err != nil {
+		t.Fatalf("/timeseriesz unparseable: %v", err)
+	}
+	if dump.Ticks == 0 || len(dump.Series) == 0 {
+		t.Fatalf("/timeseriesz empty: ticks=%d series=%d", dump.Ticks, len(dump.Series))
+	}
+	if _, ok := dump.Series["drizzle_driver_batches_total"]; !ok {
+		t.Errorf("/timeseriesz missing drizzle_driver_batches_total; have %d series", len(dump.Series))
+	}
+
+	health.SetDraining()
+	if code, body := healthGet(t, base); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("/healthz draining = %d %q", code, body)
+	}
+	health.SetServing() // restore for the endpoint checks below
 
 	// /metrics must expose the engine counters in Prometheus text form.
 	prom := string(httpGet(t, base+"/metrics"))

@@ -2,10 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"drizzle/internal/metrics"
 	"drizzle/internal/trace"
@@ -15,25 +18,98 @@ import (
 //
 //	/metrics       Prometheus text exposition of the metrics registry
 //	/metricsz      the same registry as JSON (snapshot form)
+//	/timeseriesz   the time-series history ring as JSON (windowed series)
 //	/tracez        most recent trace spans as JSON (?n= limits, newest last)
+//	/healthz       readiness: 200 "serving", 503 "starting"/"draining"
 //	/debug/pprof/  the standard Go profiler endpoints
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// Options selects what the endpoints serve. Every field may be nil: the
+// corresponding endpoint then serves an empty document (or, for Health,
+// reports "serving" unconditionally).
+type Options struct {
+	Registry *metrics.Registry
+	Tracer   *trace.Tracer
+	// History backs /timeseriesz (the driver wires its ring in; workers
+	// and tools may run their own).
+	History *metrics.History
+	// Health backs /healthz so process supervisors and CI smoke scripts
+	// can poll readiness instead of sleeping and hoping.
+	Health *Health
+}
+
+// Health is a process's readiness state machine: starting → serving →
+// draining. All methods are safe for concurrent use and safe on nil (a nil
+// Health is permanently "serving").
+type Health struct {
+	state atomic.Int32
+}
+
+const (
+	healthStarting int32 = iota
+	healthServing
+	healthDraining
+)
+
+// NewHealth returns a Health in the "starting" state.
+func NewHealth() *Health { return &Health{} }
+
+// SetServing marks the process ready.
+func (h *Health) SetServing() {
+	if h != nil {
+		h.state.Store(healthServing)
+	}
+}
+
+// SetDraining marks the process shutting down; readiness checks fail from
+// here on so orchestrators stop routing to it while in-flight work drains.
+func (h *Health) SetDraining() {
+	if h != nil {
+		h.state.Store(healthDraining)
+	}
+}
+
+// State returns "starting", "serving" or "draining".
+func (h *Health) State() string {
+	if h == nil {
+		return "serving"
+	}
+	switch h.state.Load() {
+	case healthServing:
+		return "serving"
+	case healthDraining:
+		return "draining"
+	default:
+		return "starting"
+	}
+}
+
 // NewMux builds the endpoint mux without binding a socket, so tests and
-// embedding servers can mount it wherever they like. reg and tr may be nil;
-// the endpoints then serve empty documents.
-func NewMux(reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
+// embedding servers can mount it wherever they like.
+func NewMux(o Options) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = o.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = reg.Snapshot().WriteJSON(w)
+		_ = o.Registry.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/timeseriesz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.History.Dump(time.Now()).WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := o.Health.State()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if state != "serving" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = io.WriteString(w, state+"\n")
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		n := 256
@@ -42,7 +118,7 @@ func NewMux(reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
 				n = v
 			}
 		}
-		spans := tr.Snapshot()
+		spans := o.Tracer.Snapshot()
 		if len(spans) > n {
 			spans = spans[len(spans)-n:]
 		}
@@ -64,12 +140,12 @@ func NewMux(reg *metrics.Registry, tr *trace.Tracer) *http.ServeMux {
 
 // Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
 // and serves the observability endpoints until Close.
-func Serve(addr string, reg *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+func Serve(addr string, o Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg, tr)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(o)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -38,7 +38,7 @@ func TestServerEndpoints(t *testing.T) {
 	a.SetNode("driver")
 	a.End()
 
-	s, err := Serve("127.0.0.1:0", reg, tr)
+	s, err := Serve("127.0.0.1:0", Options{Registry: reg, Tracer: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestTracezLimit(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tr.Record(trace.Span{Name: "s", Start: int64(i)})
 	}
-	s, err := Serve("127.0.0.1:0", nil, tr)
+	s, err := Serve("127.0.0.1:0", Options{Tracer: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestTracezLimit(t *testing.T) {
 }
 
 func TestServerNilSources(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", nil, nil)
+	s, err := Serve("127.0.0.1:0", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +117,36 @@ func TestServerNilSources(t *testing.T) {
 	var spans []trace.Span
 	if err := json.Unmarshal([]byte(body), &spans); err != nil || len(spans) != 0 {
 		t.Errorf("/tracez on nil tracer = %q (err %v)", body, err)
+	}
+	// Nil history serves an empty dump, nil health reports serving.
+	var dump metrics.HistoryDump
+	tsz, _ := get(t, base+"/timeseriesz")
+	if err := json.Unmarshal([]byte(tsz), &dump); err != nil || dump.Ticks != 0 {
+		t.Errorf("/timeseriesz on nil history = %q (err %v)", tsz, err)
+	}
+	if hz, _ := get(t, base+"/healthz"); strings.TrimSpace(hz) != "serving" {
+		t.Errorf("/healthz on nil health = %q", hz)
+	}
+}
+
+func TestHealthStates(t *testing.T) {
+	h := NewHealth()
+	if h.State() != "starting" {
+		t.Fatalf("new health = %q", h.State())
+	}
+	h.SetServing()
+	if h.State() != "serving" {
+		t.Fatalf("after SetServing = %q", h.State())
+	}
+	h.SetDraining()
+	if h.State() != "draining" {
+		t.Fatalf("after SetDraining = %q", h.State())
+	}
+	var nilH *Health
+	nilH.SetServing() // must not panic
+	nilH.SetDraining()
+	if nilH.State() != "serving" {
+		t.Fatalf("nil health = %q", nilH.State())
 	}
 }
 

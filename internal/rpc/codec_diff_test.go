@@ -254,7 +254,35 @@ var generators = map[string]func(r *rand.Rand) any{
 		return m
 	},
 	"Heartbeat": func(r *rand.Rand) any {
-		return core.Heartbeat{Worker: genNodeID(r), Nanos: genInt64(r)}
+		m := core.Heartbeat{
+			Worker:      genNodeID(r),
+			Nanos:       genInt64(r),
+			Incarnation: genInt64(r),
+			Seq:         r.Uint64(),
+			Full:        r.Intn(2) == 0,
+		}
+		if n := r.Intn(5); n > 0 {
+			m.Counters = make([]core.CounterSample, n)
+			for i := range m.Counters {
+				m.Counters[i] = core.CounterSample{Key: genString(r), Value: genInt64(r)}
+			}
+		}
+		if n := r.Intn(4); n > 0 {
+			m.Gauges = make([]core.GaugeSample, n)
+			for i := range m.Gauges {
+				m.Gauges[i] = core.GaugeSample{Key: genString(r), Value: genFloat(r)}
+			}
+		}
+		if n := r.Intn(3); n > 0 {
+			m.Summaries = make([]core.SummarySample, n)
+			for i := range m.Summaries {
+				m.Summaries[i] = core.SummarySample{
+					Key: genString(r), Count: genInt64(r), Sum: genFloat(r),
+					P50: genFloat(r), P95: genFloat(r), P99: genFloat(r), Max: genFloat(r),
+				}
+			}
+		}
+		return m
 	},
 	"RegisterWorker": func(r *rand.Rand) any {
 		return core.RegisterWorker{Worker: genNodeID(r), Addr: genString(r)}
